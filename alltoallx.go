@@ -1,0 +1,149 @@
+// Package alltoallx is a Go reproduction of "Scaling All-to-all Operations
+// Across Emerging Many-Core Supercomputers" (Kinkead et al., SC Workshops
+// '25): a library of all-to-all collective algorithms for many-core
+// systems — hierarchical, multi-leader, node-aware, and the paper's novel
+// locality-aware and multi-leader+node-aware schemes — together with the
+// two substrates needed to use and evaluate them without MPI:
+//
+//   - a live in-process message-passing runtime (one goroutine per rank)
+//     for real data exchanges on the machine at hand, and
+//   - a deterministic discrete-event simulator with cost models of the
+//     paper's three systems (Dane, Amber, Tuolomne) for cluster-scale
+//     performance studies.
+//
+// Quick start (live ranks, real data):
+//
+//	mapping, _ := alltoallx.NewMapping(alltoallx.SapphireRapidsNode(), 2, 8)
+//	err := alltoallx.RunLive(alltoallx.LiveConfig{Mapping: mapping}, func(c alltoallx.Comm) error {
+//		a, err := alltoallx.New("node-aware", c, 64, alltoallx.Options{})
+//		if err != nil {
+//			return err
+//		}
+//		send, recv := alltoallx.Alloc(c.Size()*64), alltoallx.Alloc(c.Size()*64)
+//		return a.Alltoall(send, recv, 64)
+//	})
+//
+// Performance studies run the same per-rank body under Simulate with a
+// Machine preset. The cmd/alltoallbench tool regenerates every table and
+// figure of the paper; see DESIGN.md and EXPERIMENTS.md.
+package alltoallx
+
+import (
+	"alltoallx/internal/comm"
+	"alltoallx/internal/core"
+	"alltoallx/internal/netmodel"
+	"alltoallx/internal/runtime"
+	"alltoallx/internal/sim"
+	"alltoallx/internal/topo"
+	"alltoallx/internal/trace"
+)
+
+// Comm is the MPI-like communicator all algorithms are written against.
+type Comm = comm.Comm
+
+// Buffer is a communication buffer (real or virtual).
+type Buffer = comm.Buffer
+
+// Request is an in-flight nonblocking operation.
+type Request = comm.Request
+
+// Alloc returns a real zeroed buffer of n bytes.
+func Alloc(n int) Buffer { return comm.Alloc(n) }
+
+// Wrap returns a buffer aliasing p.
+func Wrap(p []byte) Buffer { return comm.Wrap(p) }
+
+// Virtual returns a storage-less buffer of n bytes for simulations.
+func Virtual(n int) Buffer { return comm.Virtual(n) }
+
+// NodeSpec describes the shape of one node (sockets x NUMA x cores).
+type NodeSpec = topo.Spec
+
+// Mapping is a block layout of ranks onto nodes.
+type Mapping = topo.Mapping
+
+// NewMapping lays out nodes*ppn ranks over nodes of the given shape.
+func NewMapping(spec NodeSpec, nodes, ppn int) (*Mapping, error) {
+	return topo.NewMapping(spec, nodes, ppn)
+}
+
+// SapphireRapidsNode is the 112-core node shape of Dane and Amber.
+func SapphireRapidsNode() NodeSpec { return topo.SapphireRapids() }
+
+// MI300ANode is the 96-core node shape of Tuolomne.
+func MI300ANode() NodeSpec { return topo.MI300A() }
+
+// Alltoaller is a persistent all-to-all operation.
+type Alltoaller = core.Alltoaller
+
+// Options configures algorithm construction.
+type Options = core.Options
+
+// Inner selects the exchange used inside node-aware algorithms.
+type Inner = core.Inner
+
+// Inner exchange choices (the paper's solid/dashed line variants).
+const (
+	InnerPairwise    = core.InnerPairwise
+	InnerNonblocking = core.InnerNonblocking
+	InnerBruck       = core.InnerBruck
+)
+
+// Phase names one internal stage of an algorithm (gather, scatter, inter,
+// intra, repack, total).
+type Phase = trace.Phase
+
+// Phases reported by Alltoaller.Phases.
+const (
+	PhaseGather  = trace.PhaseGather
+	PhaseScatter = trace.PhaseScatter
+	PhaseInter   = trace.PhaseInter
+	PhaseIntra   = trace.PhaseIntra
+	PhaseRepack  = trace.PhaseRepack
+	PhaseTotal   = trace.PhaseTotal
+)
+
+// New constructs the named algorithm on c (collective call). Algorithm
+// names: pairwise, nonblocking, batched, bruck, hierarchical, multileader,
+// node-aware, locality-aware, multileader-node-aware, system-mpi.
+func New(name string, c Comm, maxBlock int, o Options) (Alltoaller, error) {
+	return core.New(name, c, maxBlock, o)
+}
+
+// Algorithms returns all registered algorithm names.
+func Algorithms() []string { return core.Names() }
+
+// LiveConfig configures an in-process world of ranks.
+type LiveConfig = runtime.Config
+
+// RunLive spawns one goroutine per rank and calls body with each rank's
+// world communicator.
+func RunLive(cfg LiveConfig, body func(c Comm) error) error {
+	return runtime.Run(cfg, body)
+}
+
+// Machine is a simulated machine model.
+type Machine = netmodel.Params
+
+// Dane returns the model of LLNL's Dane (Sapphire Rapids + Omni-Path).
+func Dane() Machine { return netmodel.Dane() }
+
+// Amber returns the model of SNL's Amber (Sapphire Rapids + Omni-Path).
+func Amber() Machine { return netmodel.Amber() }
+
+// Tuolomne returns the model of LLNL's Tuolomne (MI300A + Slingshot-11).
+func Tuolomne() Machine { return netmodel.Tuolomne() }
+
+// MachineByName returns a machine preset by name.
+func MachineByName(name string) (Machine, error) { return netmodel.ByName(name) }
+
+// SimConfig configures a simulated cluster run.
+type SimConfig = sim.ClusterConfig
+
+// SimStats summarizes a finished simulation.
+type SimStats = sim.Stats
+
+// Simulate runs body once per simulated rank under virtual time.
+func Simulate(cfg SimConfig, body func(c Comm) error) (SimStats, error) {
+	return sim.RunCluster(cfg, body)
+}

@@ -1,0 +1,169 @@
+// Public-API tests: everything a downstream user touches goes through the
+// facade exercised here.
+package alltoallx_test
+
+import (
+	"fmt"
+	"testing"
+
+	"alltoallx"
+	"alltoallx/internal/testutil"
+)
+
+func TestAlgorithmsList(t *testing.T) {
+	t.Parallel()
+	algos := alltoallx.Algorithms()
+	if len(algos) != 10 {
+		t.Fatalf("Algorithms() = %v", algos)
+	}
+}
+
+func TestMachinePresets(t *testing.T) {
+	t.Parallel()
+	for _, m := range []alltoallx.Machine{alltoallx.Dane(), alltoallx.Amber(), alltoallx.Tuolomne()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+	if _, err := alltoallx.MachineByName("Dane"); err != nil {
+		t.Error(err)
+	}
+	if _, err := alltoallx.MachineByName("nope"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if alltoallx.SapphireRapidsNode().CoresPerNode() != 112 {
+		t.Error("Sapphire Rapids node shape wrong")
+	}
+	if alltoallx.MI300ANode().CoresPerNode() != 96 {
+		t.Error("MI300A node shape wrong")
+	}
+}
+
+func TestBuffers(t *testing.T) {
+	t.Parallel()
+	b := alltoallx.Alloc(8)
+	if b.Len() != 8 || b.IsVirtual() {
+		t.Error("Alloc wrong")
+	}
+	v := alltoallx.Virtual(8)
+	if !v.IsVirtual() {
+		t.Error("Virtual wrong")
+	}
+	w := alltoallx.Wrap([]byte{1, 2})
+	if w.Len() != 2 {
+		t.Error("Wrap wrong")
+	}
+}
+
+// TestPublicLiveRoundTrip drives a full live exchange through the facade
+// only, for every algorithm.
+func TestPublicLiveRoundTrip(t *testing.T) {
+	t.Parallel()
+	spec := alltoallx.NodeSpec{Sockets: 2, NumaPerSocket: 2, CoresPerNuma: 2}
+	mapping, err := alltoallx.NewMapping(spec, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const block = 48
+	for _, algo := range alltoallx.Algorithms() {
+		algo := algo
+		t.Run(algo, func(t *testing.T) {
+			t.Parallel()
+			opts := alltoallx.Options{PPL: 2, PPG: 2}
+			if algo == "system-mpi" {
+				opts.Sys = alltoallx.Dane().Sys
+			}
+			err := alltoallx.RunLive(alltoallx.LiveConfig{Mapping: mapping}, func(c alltoallx.Comm) error {
+				a, err := alltoallx.New(algo, c, block, opts)
+				if err != nil {
+					return err
+				}
+				if a.Name() == "" {
+					return fmt.Errorf("empty name")
+				}
+				p := c.Size()
+				send := alltoallx.Alloc(p * block)
+				recv := alltoallx.Alloc(p * block)
+				testutil.FillAlltoall(send, c.Rank(), p, block)
+				if err := a.Alltoall(send, recv, block); err != nil {
+					return err
+				}
+				return testutil.CheckAlltoall(recv, c.Rank(), p, block)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPublicSimulate runs a simulated exchange through the facade and
+// checks the phase constants line up with recorded phases.
+func TestPublicSimulate(t *testing.T) {
+	t.Parallel()
+	m := alltoallx.Dane()
+	m.Node = alltoallx.NodeSpec{Sockets: 2, NumaPerSocket: 2, CoresPerNuma: 2}
+	const block = 128
+	phases := make([]map[alltoallx.Phase]float64, 16)
+	stats, err := alltoallx.Simulate(alltoallx.SimConfig{Model: m, Nodes: 2, PPN: 8, Seed: 3}, func(c alltoallx.Comm) error {
+		a, err := alltoallx.New("multileader-node-aware", c, block, alltoallx.Options{PPL: 2})
+		if err != nil {
+			return err
+		}
+		send := alltoallx.Virtual(c.Size() * block)
+		recv := alltoallx.Virtual(c.Size() * block)
+		if err := a.Alltoall(send, recv, block); err != nil {
+			return err
+		}
+		phases[c.Rank()] = a.Phases()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.VirtualSeconds <= 0 || stats.Messages == 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if phases[0][alltoallx.PhaseTotal] <= 0 {
+		t.Errorf("rank 0 phases: %v", phases[0])
+	}
+	// Leader rank 0 must have recorded the inter phase.
+	if phases[0][alltoallx.PhaseInter] <= 0 {
+		t.Errorf("rank 0 inter phase missing: %v", phases[0])
+	}
+}
+
+// TestInnerVariants checks the facade's Inner constants drive distinct
+// code paths that all produce correct results.
+func TestInnerVariants(t *testing.T) {
+	t.Parallel()
+	spec := alltoallx.NodeSpec{Sockets: 1, NumaPerSocket: 2, CoresPerNuma: 4}
+	mapping, err := alltoallx.NewMapping(spec, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const block = 16
+	for _, inner := range []alltoallx.Inner{alltoallx.InnerPairwise, alltoallx.InnerNonblocking, alltoallx.InnerBruck} {
+		inner := inner
+		t.Run(string(inner), func(t *testing.T) {
+			t.Parallel()
+			err := alltoallx.RunLive(alltoallx.LiveConfig{Mapping: mapping}, func(c alltoallx.Comm) error {
+				a, err := alltoallx.New("node-aware", c, block, alltoallx.Options{Inner: inner})
+				if err != nil {
+					return err
+				}
+				p := c.Size()
+				send := alltoallx.Alloc(p * block)
+				recv := alltoallx.Alloc(p * block)
+				testutil.FillAlltoall(send, c.Rank(), p, block)
+				if err := a.Alltoall(send, recv, block); err != nil {
+					return err
+				}
+				return testutil.CheckAlltoall(recv, c.Rank(), p, block)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,66 @@
+// Command a2asim runs a single simulated all-to-all configuration and
+// prints its timing, phase breakdown and simulator statistics — the
+// single-point explorer behind the figures that cmd/alltoallbench sweeps.
+//
+// Example:
+//
+//	go run ./cmd/a2asim -machine Dane -nodes 32 -algo multileader-node-aware -ppl 4 -block 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"alltoallx/internal/bench"
+	"alltoallx/internal/core"
+	"alltoallx/internal/netmodel"
+	"alltoallx/internal/trace"
+)
+
+func main() {
+	var (
+		machine = flag.String("machine", "Dane", "machine model: Dane, Amber, Tuolomne")
+		nodes   = flag.Int("nodes", 8, "node count")
+		ppn     = flag.Int("ppn", 0, "ranks per node (0 = all cores)")
+		algo    = flag.String("algo", "node-aware", "algorithm name")
+		inner   = flag.String("inner", "pairwise", "inner exchange: pairwise, nonblocking, bruck")
+		ppl     = flag.Int("ppl", 4, "processes per leader")
+		ppg     = flag.Int("ppg", 4, "processes per group")
+		block   = flag.Int("block", 4096, "bytes per rank pair")
+		runs    = flag.Int("runs", 3, "seeded runs (minimum reported)")
+		seed    = flag.Int64("seed", 0, "base noise seed")
+	)
+	flag.Parse()
+
+	m, err := netmodel.ByName(*machine)
+	if err != nil {
+		fatal(err)
+	}
+	p := *ppn
+	if p == 0 {
+		p = m.Node.CoresPerNode()
+	}
+	cfg := bench.Config{
+		Machine: m, Nodes: *nodes, PPN: p,
+		Algo:  *algo,
+		Opts:  core.Options{Inner: core.Inner(*inner), PPL: *ppl, PPG: *ppg},
+		Block: *block, Runs: *runs, BaseSeed: *seed,
+	}
+	pt, err := bench.Measure(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s on %s: %d nodes x %d ranks, %d B/block (inner=%s ppl=%d ppg=%d)\n",
+		*algo, m.Name, *nodes, p, *block, *inner, *ppl, *ppg)
+	fmt.Printf("  time      %.6e s (min of %d runs)\n", pt.Seconds, *runs)
+	for _, ph := range trace.SortedPhases(pt.Phases) {
+		fmt.Printf("  phase %-8s %.6e s\n", ph, pt.Phases[ph])
+	}
+	fmt.Printf("  simulated %d messages, %d events\n", pt.Stats.Messages, pt.Stats.Events)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "a2asim:", err)
+	os.Exit(1)
+}

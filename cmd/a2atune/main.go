@@ -1,0 +1,67 @@
+// Command a2atune selects the best all-to-all algorithm for a machine,
+// scale and message-size range — the paper's future-work goal of dynamic
+// algorithm selection, driven by the machine model.
+//
+// Example:
+//
+//	go run ./cmd/a2atune -machine Dane -nodes 32 -ppn 112 -sizes 4,64,1024,4096
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"alltoallx/internal/autotune"
+	"alltoallx/internal/netmodel"
+)
+
+func main() {
+	var (
+		machine = flag.String("machine", "Dane", "machine model: Dane, Amber, Tuolomne")
+		nodes   = flag.Int("nodes", 8, "node count")
+		ppn     = flag.Int("ppn", 0, "ranks per node (0 = all cores)")
+		sizes   = flag.String("sizes", "4,64,1024,4096", "comma-separated block sizes in bytes")
+		runs    = flag.Int("runs", 2, "runs per candidate (minimum kept)")
+		full    = flag.Bool("ranking", false, "print the full ranking per size, not just the winner")
+	)
+	flag.Parse()
+
+	m, err := netmodel.ByName(*machine)
+	if err != nil {
+		fatal(err)
+	}
+	p := *ppn
+	if p == 0 {
+		p = m.Node.CoresPerNode()
+	}
+	var sz []int
+	for _, f := range strings.Split(*sizes, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v <= 0 {
+			fatal(fmt.Errorf("bad size %q", f))
+		}
+		sz = append(sz, v)
+	}
+	cands := autotune.DefaultCandidates(p)
+	fmt.Printf("tuning all-to-all on %s: %d nodes x %d ranks, %d candidates\n", m.Name, *nodes, p, len(cands))
+	for _, s := range sz {
+		best, ranking, err := autotune.Select(m, *nodes, p, s, cands, *runs, 1)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%6d B: %-30s %.4e s\n", s, best.Name, best.Seconds)
+		if *full {
+			for _, ch := range ranking[1:] {
+				fmt.Printf("         %-30s %.4e s\n", ch.Name, ch.Seconds)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "a2atune:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,151 @@
+// Command alltoallbench regenerates the paper's tables and figures.
+//
+// Each experiment ID corresponds to one figure of the evaluation (fig7 ..
+// fig18) or table1. The default "quick" scale runs a reduced cluster
+// (8 nodes x 16 ranks) that preserves the figures' qualitative shapes in
+// seconds of wall time; "-scale full" reproduces the paper's 32-node,
+// all-cores configuration (minutes of wall time for the direct-exchange
+// baselines, which simulate ~13M messages per point).
+//
+// Usage:
+//
+//	go run ./cmd/alltoallbench -experiment fig10
+//	go run ./cmd/alltoallbench -experiment all -scale full -csv results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"alltoallx/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment ID (fig7..fig18, table1, headline) or 'all'")
+		scaleName  = flag.String("scale", "quick", "reproduction scale: quick or full")
+		nodes      = flag.Int("nodes", 0, "override node count (0 = experiment default)")
+		ppn        = flag.Int("ppn", 0, "override ranks per node (0 = scale default)")
+		runs       = flag.Int("runs", 0, "override runs per point (0 = scale default)")
+		csvDir     = flag.String("csv", "", "directory for CSV output (empty = none)")
+		plot       = flag.Bool("plot", false, "render an ASCII log-scale chart of each figure")
+		verbose    = flag.Bool("v", false, "print per-point progress")
+	)
+	flag.Parse()
+
+	scale, err := scaleByName(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	if *ppn > 0 {
+		scale.PPN = *ppn
+	}
+	if *runs > 0 {
+		scale.Runs = *runs
+	}
+	var progress func(string)
+	if *verbose {
+		progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
+	}
+
+	ids := strings.Split(*experiment, ",")
+	if *experiment == "all" {
+		ids = []string{"table1"}
+		for _, e := range bench.Experiments() {
+			ids = append(ids, e.ID)
+		}
+		ids = append(ids, "headline")
+	}
+	for _, id := range ids {
+		if err := runOne(id, scale, *nodes, *csvDir, *plot, progress); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func scaleByName(name string) (bench.Scale, error) {
+	switch name {
+	case "quick":
+		return bench.Quick(), nil
+	case "full":
+		return bench.Full(), nil
+	}
+	return bench.Scale{}, fmt.Errorf("unknown scale %q (quick or full)", name)
+}
+
+func runOne(id string, scale bench.Scale, nodeOverride int, csvDir string, plot bool, progress func(string)) error {
+	switch id {
+	case "table1":
+		return bench.FormatTable1(os.Stdout)
+	case "headline":
+		return runHeadline(scale, nodeOverride, progress)
+	}
+	exp, err := bench.Lookup(id)
+	if err != nil {
+		return err
+	}
+	if nodeOverride > 0 {
+		exp.Nodes = nodeOverride
+	}
+	t, err := bench.RunExperiment(exp, scale, progress)
+	if err != nil {
+		return err
+	}
+	if err := t.Format(os.Stdout); err != nil {
+		return err
+	}
+	if plot {
+		if err := t.Plot(os.Stdout, 18); err != nil {
+			return err
+		}
+	}
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(csvDir, exp.ID+"_"+scale.Name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := t.CSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	return nil
+}
+
+// runHeadline reproduces the abstract's claim: "up to 3x speedup over
+// system MPI at 32 nodes", derived from the all-algorithms comparison.
+func runHeadline(scale bench.Scale, nodeOverride int, progress func(string)) error {
+	exp, err := bench.Lookup("fig10")
+	if err != nil {
+		return err
+	}
+	if nodeOverride > 0 {
+		exp.Nodes = nodeOverride
+	}
+	t, err := bench.RunExperiment(exp, scale, progress)
+	if err != nil {
+		return err
+	}
+	sp, atX, vs := bench.Headline(t)
+	fmt.Printf("headline — max speedup over System MPI at %d nodes (%s scale): %.2fx (%s at %d B)\n",
+		t.Nodes, scale.Name, sp, vs, atX)
+	fmt.Println("paper claim: up to 3x over system MPI at 32 nodes")
+	fmt.Println()
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "alltoallbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+package alltoallx
+
+import (
+	"alltoallx/internal/collx"
+	"alltoallx/internal/core"
+)
+
+// Alltoallv performs a variable-sized all-to-all: rank r sends
+// sendCounts[i] bytes at sdispls[i] to rank i and receives recvCounts[j]
+// bytes from rank j at rdispls[j] (MPI_Alltoallv semantics, pairwise
+// stepping).
+func Alltoallv(c Comm, send Buffer, sendCounts, sdispls []int, recv Buffer, recvCounts, rdispls []int) error {
+	return core.Alltoallv(c, send, sendCounts, sdispls, recv, recvCounts, rdispls)
+}
+
+// AlltoallvNonblocking is Alltoallv with all exchanges posted up front.
+func AlltoallvNonblocking(c Comm, send Buffer, sendCounts, sdispls []int, recv Buffer, recvCounts, rdispls []int) error {
+	return core.AlltoallvNonblocking(c, send, sendCounts, sdispls, recv, recvCounts, rdispls)
+}
+
+// AlltoallvCounts builds contiguous displacements for per-peer byte counts
+// and returns the total buffer length.
+func AlltoallvCounts(counts []int) (displs []int, total int) {
+	return core.CountsFromSizes(counts)
+}
+
+// ReduceOp accumulates the second buffer into the first, element-wise.
+type ReduceOp = collx.Op
+
+// Element-wise reduction operators over little-endian int64 payloads.
+var (
+	SumInt64 ReduceOp = collx.SumInt64
+	MaxInt64 ReduceOp = collx.MaxInt64
+)
+
+// NodeAwareCollectives applies the paper's aggregation strategy (its
+// Section 5 future work) to allgather, allreduce, reduce-scatter and
+// broadcast: leaders perform the inter-node part, everything else stays on
+// the node.
+type NodeAwareCollectives = collx.NodeAware
+
+// NewNodeAwareCollectives builds the node-level communicators once
+// (collective over the world communicator c, which must carry a mapping).
+func NewNodeAwareCollectives(c Comm) (*NodeAwareCollectives, error) {
+	return collx.NewNodeAware(c)
+}
+
+// AllgatherRing gathers every rank's block to all ranks in p-1
+// neighbor steps (bandwidth-optimal baseline).
+func AllgatherRing(c Comm, send, recv Buffer, block int) error {
+	return collx.AllgatherRing(c, send, recv, block)
+}
+
+// AllgatherBruck gathers in ceil(log2 p) doubling steps
+// (latency-optimal baseline).
+func AllgatherBruck(c Comm, send, recv Buffer, block int) error {
+	return collx.AllgatherBruck(c, send, recv, block)
+}
+
+// AllreduceRecursiveDoubling reduces buf element-wise across all ranks,
+// leaving the result everywhere.
+func AllreduceRecursiveDoubling(c Comm, buf Buffer, op ReduceOp) error {
+	return collx.AllreduceRecursiveDoubling(c, buf, op)
+}
+
+// ReduceScatterPairwise leaves each rank the element-wise reduction of
+// every rank's block for it.
+func ReduceScatterPairwise(c Comm, send, recv Buffer, block int, op ReduceOp) error {
+	return collx.ReduceScatterPairwise(c, send, recv, block, op)
+}

@@ -1,0 +1,150 @@
+package alltoallx_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"alltoallx"
+)
+
+func TestPublicAlltoallv(t *testing.T) {
+	t.Parallel()
+	const n = 6
+	err := alltoallx.RunLive(alltoallx.LiveConfig{Ranks: n}, func(c alltoallx.Comm) error {
+		r := c.Rank()
+		sendCounts := make([]int, n)
+		recvCounts := make([]int, n)
+		for i := 0; i < n; i++ {
+			sendCounts[i] = (r+i)%4 + 1
+			recvCounts[i] = (i+r)%4 + 1
+		}
+		sdispls, sTotal := alltoallx.AlltoallvCounts(sendCounts)
+		rdispls, rTotal := alltoallx.AlltoallvCounts(recvCounts)
+		send := alltoallx.Alloc(sTotal)
+		recv := alltoallx.Alloc(rTotal)
+		for i := 0; i < n; i++ {
+			for k := 0; k < sendCounts[i]; k++ {
+				send.Bytes()[sdispls[i]+k] = byte(r*16 + i)
+			}
+		}
+		if err := alltoallx.Alltoallv(c, send, sendCounts, sdispls, recv, recvCounts, rdispls); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			for k := 0; k < recvCounts[i]; k++ {
+				if got, want := recv.Bytes()[rdispls[i]+k], byte(i*16+r); got != want {
+					return fmt.Errorf("rank %d from %d byte %d: got %d want %d", r, i, k, got, want)
+				}
+			}
+		}
+		return alltoallx.AlltoallvNonblocking(c, send, sendCounts, sdispls, recv, recvCounts, rdispls)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicNodeAwareCollectives(t *testing.T) {
+	t.Parallel()
+	spec := alltoallx.NodeSpec{Sockets: 2, NumaPerSocket: 2, CoresPerNuma: 2}
+	mapping, err := alltoallx.NewMapping(spec, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mapping.Size()
+	wantSum := int64(0)
+	for r := 0; r < p; r++ {
+		wantSum += int64(r + 1)
+	}
+	err = alltoallx.RunLive(alltoallx.LiveConfig{Mapping: mapping}, func(c alltoallx.Comm) error {
+		na, err := alltoallx.NewNodeAwareCollectives(c)
+		if err != nil {
+			return err
+		}
+		// Allreduce.
+		buf := alltoallx.Alloc(8)
+		binary.LittleEndian.PutUint64(buf.Bytes(), uint64(int64(c.Rank()+1)))
+		if err := na.Allreduce(buf, alltoallx.SumInt64); err != nil {
+			return err
+		}
+		if got := int64(binary.LittleEndian.Uint64(buf.Bytes())); got != wantSum {
+			return fmt.Errorf("allreduce: got %d want %d", got, wantSum)
+		}
+		// Allgather.
+		const block = 4
+		send := alltoallx.Alloc(block)
+		for i := range send.Bytes() {
+			send.Bytes()[i] = byte(c.Rank())
+		}
+		recv := alltoallx.Alloc(p * block)
+		if err := na.Allgather(send, recv, block); err != nil {
+			return err
+		}
+		for r := 0; r < p; r++ {
+			if recv.Bytes()[r*block] != byte(r) {
+				return fmt.Errorf("allgather block %d wrong", r)
+			}
+		}
+		// Bcast.
+		b := alltoallx.Alloc(8)
+		if c.Rank() == 3 {
+			copy(b.Bytes(), []byte("broadcst"))
+		}
+		if err := na.Bcast(3, b); err != nil {
+			return err
+		}
+		if string(b.Bytes()) != "broadcst" {
+			return fmt.Errorf("bcast payload %q", b.Bytes())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicFlatCollectives(t *testing.T) {
+	t.Parallel()
+	const n = 7
+	err := alltoallx.RunLive(alltoallx.LiveConfig{Ranks: n}, func(c alltoallx.Comm) error {
+		const block = 8
+		send := alltoallx.Alloc(block)
+		binary.LittleEndian.PutUint64(send.Bytes(), uint64(int64(c.Rank()*10)))
+		recv := alltoallx.Alloc(n * block)
+		if err := alltoallx.AllgatherRing(c, send, recv, block); err != nil {
+			return err
+		}
+		recv2 := alltoallx.Alloc(n * block)
+		if err := alltoallx.AllgatherBruck(c, send, recv2, block); err != nil {
+			return err
+		}
+		for r := 0; r < n; r++ {
+			a := int64(binary.LittleEndian.Uint64(recv.Bytes()[r*block:]))
+			b := int64(binary.LittleEndian.Uint64(recv2.Bytes()[r*block:]))
+			if a != int64(r*10) || b != a {
+				return fmt.Errorf("allgather mismatch at %d: ring %d bruck %d", r, a, b)
+			}
+		}
+		// Reduce-scatter: block d from rank s carries s+d.
+		rs := alltoallx.Alloc(n * block)
+		for d := 0; d < n; d++ {
+			binary.LittleEndian.PutUint64(rs.Bytes()[d*block:], uint64(int64(c.Rank()+d)))
+		}
+		out := alltoallx.Alloc(block)
+		if err := alltoallx.ReduceScatterPairwise(c, rs, out, block, alltoallx.SumInt64); err != nil {
+			return err
+		}
+		want := int64(0)
+		for s := 0; s < n; s++ {
+			want += int64(s + c.Rank())
+		}
+		if got := int64(binary.LittleEndian.Uint64(out.Bytes())); got != want {
+			return fmt.Errorf("reduce-scatter: got %d want %d", got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

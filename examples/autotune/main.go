@@ -1,0 +1,47 @@
+// Dynamic algorithm selection — the paper's future-work direction of
+// picking the optimal all-to-all "for a given computer, system MPI,
+// process count, and data size". The machine model evaluates every
+// candidate per message size and bakes the winners into a dispatch table.
+//
+//	go run ./examples/autotune [-machine Dane] [-nodes 8] [-ppn 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"alltoallx/internal/autotune"
+	"alltoallx/internal/netmodel"
+)
+
+func main() {
+	var (
+		machine = flag.String("machine", "Dane", "machine model")
+		nodes   = flag.Int("nodes", 8, "node count")
+		ppn     = flag.Int("ppn", 16, "ranks per node")
+	)
+	flag.Parse()
+
+	m, err := netmodel.ByName(*machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sizes := []int{4, 64, 1024, 4096}
+	cands := autotune.DefaultCandidates(*ppn)
+	fmt.Printf("selecting best all-to-all on %s (%d nodes x %d ranks) from %d candidates...\n",
+		m.Name, *nodes, *ppn, len(cands))
+	table, err := autotune.BuildTable(m, *nodes, *ppn, sizes, cands, 2, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndispatch table:")
+	for i, s := range table.Sizes {
+		c := table.Best[i]
+		fmt.Printf("  <= %5d B : %-28s (predicted %.3e s)\n", s, c.Name, c.Seconds)
+	}
+	for _, probe := range []int{16, 512, 1 << 15} {
+		c := table.Pick(probe)
+		fmt.Printf("Pick(%d B) -> %s\n", probe, c.Name)
+	}
+}

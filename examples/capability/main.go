@@ -1,0 +1,53 @@
+// Capability-scale projection — the paper's future-work plan to "develop a
+// model to evaluate these impacts at capability-scale". The closed-form
+// cost model ranks the algorithm family far beyond what any replay could
+// simulate: here, up to 4096 nodes of each machine.
+//
+//	go run ./examples/capability [-machine Tuolomne] [-block 1024]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"alltoallx/internal/model"
+	"alltoallx/internal/netmodel"
+)
+
+func main() {
+	var (
+		machine = flag.String("machine", "Dane", "machine model: Dane, Amber, Tuolomne")
+		block   = flag.Int("block", 1024, "bytes per rank pair")
+	)
+	flag.Parse()
+
+	m, err := netmodel.ByName(*machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ppn := m.Node.CoresPerNode()
+	fmt.Printf("projected best all-to-all on %s (%d ranks/node, %d B blocks)\n\n", m.Name, ppn, *block)
+	fmt.Printf("%8s  %-28s %-12s %-34s\n", "nodes", "best", "predicted", "runner-up")
+	for nodes := 32; nodes <= 4096; nodes *= 2 {
+		cfg := model.Config{Machine: m, Nodes: nodes, PPN: ppn, Block: *block}
+		ranked, err := model.Rank(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		best, second := ranked[0], ranked[1]
+		fmt.Printf("%8d  %-28s %.3e s  %s (%.2fx slower)\n",
+			nodes, best.Algorithm, best.Seconds, second.Algorithm, second.Seconds/best.Seconds)
+	}
+	fmt.Println("\ncrossover scan (multileader-node-aware -> node-aware), 512 nodes:")
+	cfg := model.Config{Machine: m, Nodes: 512, PPN: ppn}
+	x, err := model.Crossover("multileader-node-aware", "node-aware", cfg, 4, 1<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if x == 0 {
+		fmt.Println("  node-aware never overtakes below 1 MiB")
+	} else {
+		fmt.Printf("  node-aware becomes fastest at %d B per block\n", x)
+	}
+}

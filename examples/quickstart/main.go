@@ -1,0 +1,63 @@
+// Quickstart: run a node-aware all-to-all among live in-process ranks with
+// real data, verify every byte, and print the phase breakdown.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"alltoallx"
+)
+
+func main() {
+	// A little "cluster": 2 nodes x 8 ranks, each node 2 sockets x 2 NUMA
+	// domains x 2 cores — small, but every locality level exists.
+	spec := alltoallx.NodeSpec{Sockets: 2, NumaPerSocket: 2, CoresPerNuma: 2}
+	mapping, err := alltoallx.NewMapping(spec, 2, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const block = 64 // bytes exchanged per rank pair
+
+	err = alltoallx.RunLive(alltoallx.LiveConfig{Mapping: mapping}, func(c alltoallx.Comm) error {
+		p, rank := c.Size(), c.Rank()
+
+		// Build the persistent collective once (communicator splits happen
+		// here), then exchange as often as needed.
+		a, err := alltoallx.New("node-aware", c, block, alltoallx.Options{})
+		if err != nil {
+			return err
+		}
+
+		// Send block d carries this rank's data for rank d.
+		send := alltoallx.Alloc(p * block)
+		recv := alltoallx.Alloc(p * block)
+		for d := 0; d < p; d++ {
+			for i := 0; i < block; i++ {
+				send.Bytes()[d*block+i] = byte(rank ^ d ^ i)
+			}
+		}
+		if err := a.Alltoall(send, recv, block); err != nil {
+			return err
+		}
+
+		// recv block s must now hold what rank s sent us.
+		for s := 0; s < p; s++ {
+			for i := 0; i < block; i++ {
+				if got, want := recv.Bytes()[s*block+i], byte(s^rank^i); got != want {
+					return fmt.Errorf("rank %d: block %d byte %d: got %#x, want %#x", rank, s, i, got, want)
+				}
+			}
+		}
+		if rank == 0 {
+			fmt.Printf("node-aware all-to-all verified on %d ranks (%d B per pair)\n", p, block)
+			fmt.Printf("phases on rank 0: %v\n", a.Phases())
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

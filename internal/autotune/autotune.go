@@ -1,0 +1,121 @@
+// Package autotune implements the paper's future-work goal (Section 5) of
+// dynamically selecting the optimal all-to-all algorithm "for a given
+// computer, system MPI, process count, and data size". Selection is
+// model-driven: candidates are evaluated on the discrete-event machine
+// model (no cluster time needed), and the per-size winners can be baked
+// into a lookup table for dispatch at run time.
+package autotune
+
+import (
+	"fmt"
+	"sort"
+
+	"alltoallx/internal/bench"
+	"alltoallx/internal/core"
+	"alltoallx/internal/netmodel"
+)
+
+// Candidate is one algorithm configuration under consideration.
+type Candidate struct {
+	// Name labels the candidate in reports (defaults to Algo).
+	Name string
+	// Algo and Opts are passed to core.New.
+	Algo string
+	Opts core.Options
+}
+
+func (c Candidate) label() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return c.Algo
+}
+
+// Choice is a measured candidate.
+type Choice struct {
+	Candidate
+	// Seconds is the predicted collective time on the machine model.
+	Seconds float64
+}
+
+// DefaultCandidates returns the paper's algorithm family with the leader/
+// group sizes it evaluates, restricted to divisors of ppn.
+func DefaultCandidates(ppn int) []Candidate {
+	cands := []Candidate{
+		{Name: "bruck", Algo: "bruck"},
+		{Name: "hierarchical", Algo: "hierarchical"},
+		{Name: "node-aware", Algo: "node-aware"},
+	}
+	for _, q := range []int{4, 8, 16} {
+		if q <= ppn && ppn%q == 0 {
+			cands = append(cands,
+				Candidate{Name: fmt.Sprintf("multileader/%dppl", q), Algo: "multileader", Opts: core.Options{PPL: q}},
+				Candidate{Name: fmt.Sprintf("locality-aware/%dppg", q), Algo: "locality-aware", Opts: core.Options{PPG: q}},
+				Candidate{Name: fmt.Sprintf("multileader-node-aware/%dppl", q), Algo: "multileader-node-aware", Opts: core.Options{PPL: q}},
+			)
+		}
+	}
+	return cands
+}
+
+// Select evaluates every candidate for one configuration and returns the
+// winner plus the full ranking (fastest first).
+func Select(m netmodel.Params, nodes, ppn, block int, cands []Candidate, runs int, seed int64) (Choice, []Choice, error) {
+	if len(cands) == 0 {
+		return Choice{}, nil, fmt.Errorf("autotune: no candidates")
+	}
+	ranking := make([]Choice, 0, len(cands))
+	for _, cand := range cands {
+		pt, err := bench.Measure(bench.Config{
+			Machine: m, Nodes: nodes, PPN: ppn,
+			Algo: cand.Algo, Opts: cand.Opts, Block: block,
+			Runs: runs, BaseSeed: seed,
+		})
+		if err != nil {
+			return Choice{}, nil, fmt.Errorf("autotune: candidate %s: %w", cand.label(), err)
+		}
+		ranking = append(ranking, Choice{Candidate: cand, Seconds: pt.Seconds})
+	}
+	sort.SliceStable(ranking, func(i, j int) bool { return ranking[i].Seconds < ranking[j].Seconds })
+	return ranking[0], ranking, nil
+}
+
+// Table is a size-indexed dispatch table of winners for one (machine,
+// nodes, ppn) configuration.
+type Table struct {
+	Machine string
+	Nodes   int
+	PPN     int
+	Sizes   []int // ascending
+	Best    []Choice
+}
+
+// BuildTable selects the winner at every size.
+func BuildTable(m netmodel.Params, nodes, ppn int, sizes []int, cands []Candidate, runs int, seed int64) (*Table, error) {
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("autotune: no sizes")
+	}
+	sorted := append([]int(nil), sizes...)
+	sort.Ints(sorted)
+	t := &Table{Machine: m.Name, Nodes: nodes, PPN: ppn, Sizes: sorted}
+	for _, s := range sorted {
+		best, _, err := Select(m, nodes, ppn, s, cands, runs, seed)
+		if err != nil {
+			return nil, err
+		}
+		t.Best = append(t.Best, best)
+	}
+	return t, nil
+}
+
+// Pick returns the tabled winner for a block size: the entry of the
+// smallest tabled size >= block, or the largest entry when block exceeds
+// the table.
+func (t *Table) Pick(block int) Choice {
+	for i, s := range t.Sizes {
+		if block <= s {
+			return t.Best[i]
+		}
+	}
+	return t.Best[len(t.Best)-1]
+}

@@ -1,0 +1,102 @@
+package autotune
+
+import (
+	"testing"
+
+	"alltoallx/internal/core"
+	"alltoallx/internal/netmodel"
+	"alltoallx/internal/topo"
+)
+
+// tinyDane shrinks the node so selection tests stay fast.
+func tinyDane() netmodel.Params {
+	m := netmodel.Dane()
+	m.Node = topo.Spec{Sockets: 2, NumaPerSocket: 2, CoresPerNuma: 2}
+	return m
+}
+
+func TestDefaultCandidates(t *testing.T) {
+	t.Parallel()
+	cands := DefaultCandidates(112)
+	if len(cands) != 3+3*3 {
+		t.Fatalf("candidate count = %d", len(cands))
+	}
+	cands8 := DefaultCandidates(8)
+	for _, c := range cands8 {
+		if c.Opts.PPL > 8 || c.Opts.PPG > 8 {
+			t.Errorf("candidate %s exceeds ppn", c.label())
+		}
+	}
+}
+
+func TestSelectRanksCandidates(t *testing.T) {
+	t.Parallel()
+	m := tinyDane()
+	cands := []Candidate{
+		{Name: "node-aware", Algo: "node-aware"},
+		{Name: "hierarchical", Algo: "hierarchical"},
+		{Name: "mlna", Algo: "multileader-node-aware", Opts: core.Options{PPL: 2}},
+	}
+	best, ranking, err := Select(m, 4, 8, 512, cands, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranking) != len(cands) {
+		t.Fatalf("ranking size %d", len(ranking))
+	}
+	for i := 1; i < len(ranking); i++ {
+		if ranking[i].Seconds < ranking[i-1].Seconds {
+			t.Errorf("ranking not sorted: %v", ranking)
+		}
+	}
+	if best.Seconds != ranking[0].Seconds {
+		t.Errorf("best %v != ranking[0] %v", best, ranking[0])
+	}
+	if best.Seconds <= 0 {
+		t.Errorf("nonpositive prediction %g", best.Seconds)
+	}
+}
+
+func TestSelectErrors(t *testing.T) {
+	t.Parallel()
+	m := tinyDane()
+	if _, _, err := Select(m, 2, 8, 64, nil, 1, 1); err == nil {
+		t.Error("empty candidates accepted")
+	}
+	bad := []Candidate{{Algo: "no-such"}}
+	if _, _, err := Select(m, 2, 8, 64, bad, 1, 1); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestBuildTableAndPick(t *testing.T) {
+	t.Parallel()
+	m := tinyDane()
+	cands := []Candidate{
+		{Name: "node-aware", Algo: "node-aware"},
+		{Name: "mlna", Algo: "multileader-node-aware", Opts: core.Options{PPL: 2}},
+	}
+	tbl, err := BuildTable(m, 4, 8, []int{1024, 16}, cands, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Sizes) != 2 || tbl.Sizes[0] != 16 || tbl.Sizes[1] != 1024 {
+		t.Fatalf("sizes not sorted: %v", tbl.Sizes)
+	}
+	// Pick boundaries: below, between, above.
+	if got := tbl.Pick(4); got.label() != tbl.Best[0].label() {
+		t.Errorf("Pick(4) = %v", got.Name)
+	}
+	if got := tbl.Pick(16); got.label() != tbl.Best[0].label() {
+		t.Errorf("Pick(16) = %v", got.Name)
+	}
+	if got := tbl.Pick(500); got.label() != tbl.Best[1].label() {
+		t.Errorf("Pick(500) = %v", got.Name)
+	}
+	if got := tbl.Pick(1 << 20); got.label() != tbl.Best[1].label() {
+		t.Errorf("Pick(big) = %v", got.Name)
+	}
+	if _, err := BuildTable(m, 4, 8, nil, cands, 1, 1); err == nil {
+		t.Error("empty sizes accepted")
+	}
+}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"alltoallx/internal/netmodel"
+)
+
+// Format writes the table as aligned text with the experiment header.
+func (t *Table) Format(w io.Writer) error {
+	header := fmt.Sprintf("%s — %s\nmachine=%s nodes=%d ppn=%d scale=%s runs=%d\npaper shape: %s\n",
+		t.Exp.ID, t.Exp.Title, t.Machine.Name, t.Nodes, t.PPN, t.Scale.Name, t.Scale.Runs, t.Exp.Expectation)
+	if _, err := io.WriteString(w, header); err != nil {
+		return err
+	}
+	cols := make([]string, 0, len(t.Labels)+1)
+	cols = append(cols, t.Exp.XAxis.String())
+	cols = append(cols, t.Labels...)
+	widths := make([]int, len(cols))
+	rows := [][]string{cols}
+	for xi, x := range t.Xs {
+		row := make([]string, 0, len(cols))
+		xv := fmt.Sprintf("%d", x)
+		if t.Exp.XAxis == XPPG && x == 0 {
+			xv = "node-aware"
+		}
+		row = append(row, xv)
+		for si := range t.Labels {
+			row = append(row, fmt.Sprintf("%.4e", t.Values[xi][si]))
+		}
+		rows = append(rows, row)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		parts := make([]string, len(row))
+		for i, cell := range row {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		if _, err := fmt.Fprintln(w, "  "+strings.Join(parts, "  ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// CSV writes the table as comma-separated values (one header row; times in
+// seconds).
+func (t *Table) CSV(w io.Writer) error {
+	cols := append([]string{t.Exp.XAxis.String()}, t.Labels...)
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for xi, x := range t.Xs {
+		parts := make([]string, 0, len(cols))
+		parts = append(parts, fmt.Sprintf("%d", x))
+		for si := range t.Labels {
+			parts = append(parts, fmt.Sprintf("%.9e", t.Values[xi][si]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(parts, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FormatTable1 renders the paper's Table 1 (system architectures) from the
+// machine presets.
+func FormatTable1(w io.Writer) error {
+	rows := [][]string{{"Name", "CPU", "Network", "MPI", "LibFabric", "Cores/Node"}}
+	for _, m := range netmodel.Machines() {
+		rows = append(rows, []string{
+			m.Name, m.CPU, m.Network, m.MPIName, m.LibFabric,
+			fmt.Sprintf("%d", m.Node.CoresPerNode()),
+		})
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if _, err := fmt.Fprintln(w, "table1 — System Architectures (paper Table 1)"); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		parts := make([]string, len(row))
+		for i, cell := range row {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		if _, err := fmt.Fprintln(w, "  "+strings.Join(parts, "  ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

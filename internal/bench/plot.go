@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Plot renders the table as an ASCII chart — log-scaled y (seconds), the
+// experiment's x values as columns — so `alltoallbench -plot` shows the
+// paper figures' shapes directly in a terminal. Each series is drawn with
+// its own mark; column headers carry the x values.
+func (t *Table) Plot(w io.Writer, height int) error {
+	if height < 4 {
+		height = 16
+	}
+	marks := []byte("*o+x#@%&$~^=")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for xi := range t.Xs {
+		for si := range t.Labels {
+			v := t.Values[xi][si]
+			if v <= 0 {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if !(lo < hi) {
+		hi = lo * 10
+	}
+	logLo, logHi := math.Log10(lo), math.Log10(hi)
+	span := logHi - logLo
+	if span == 0 {
+		span = 1
+	}
+	const colW = 6
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", colW*len(t.Xs)))
+	}
+	for xi := range t.Xs {
+		for si := range t.Labels {
+			v := t.Values[xi][si]
+			if v <= 0 {
+				continue
+			}
+			row := int(math.Round((math.Log10(v) - logLo) / span * float64(height-1)))
+			r := height - 1 - row // row 0 at top = max
+			colChar := xi*colW + colW/2
+			cell := &grid[r][colChar]
+			if *cell == ' ' {
+				*cell = marks[si%len(marks)]
+			} else {
+				*cell = '!' // collision: multiple series share this pixel
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s — %s (seconds, log scale)\n", t.Exp.ID, t.Exp.Title); err != nil {
+		return err
+	}
+	for r := range grid {
+		frac := float64(height-1-r) / float64(height-1)
+		yval := math.Pow(10, logLo+frac*span)
+		if _, err := fmt.Fprintf(w, "%9.2e |%s\n", yval, string(grid[r])); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%9s +%s\n", "", strings.Repeat("-", colW*len(t.Xs))); err != nil {
+		return err
+	}
+	head := make([]string, len(t.Xs))
+	for i, x := range t.Xs {
+		label := fmt.Sprintf("%d", x)
+		if t.Exp.XAxis == XPPG && x == 0 {
+			label = "NA"
+		}
+		head[i] = fmt.Sprintf("%*s", colW, label)
+	}
+	if _, err := fmt.Fprintf(w, "%9s  %s  (%s)\n", "", strings.Join(head, ""), t.Exp.XAxis); err != nil {
+		return err
+	}
+	for si, l := range t.Labels {
+		if _, err := fmt.Fprintf(w, "%14c %s\n", marks[si%len(marks)], l); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

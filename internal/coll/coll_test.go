@@ -1,0 +1,284 @@
+package coll
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"alltoallx/internal/comm"
+	"alltoallx/internal/runtime"
+)
+
+// runWorld is a shorthand for spinning up n live ranks.
+func runWorld(t *testing.T, n int, body func(c comm.Comm) error) {
+	t.Helper()
+	if err := runtime.Run(runtime.Config{Ranks: n}, body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fillRank(b comm.Buffer, rank int) {
+	for i := range b.Bytes() {
+		b.Bytes()[i] = byte(rank*31 + i)
+	}
+}
+
+func wantRank(rank, i int) byte { return byte(rank*31 + i) }
+
+func TestGatherBothKindsAllRoots(t *testing.T) {
+	t.Parallel()
+	for _, kind := range []Kind{Linear, Binomial} {
+		for _, n := range []int{1, 2, 3, 5, 8, 13} {
+			for _, root := range []int{0, n - 1, n / 2} {
+				kind, n, root := kind, n, root
+				t.Run(fmt.Sprintf("%v/n%d/root%d", kind, n, root), func(t *testing.T) {
+					t.Parallel()
+					const block = 6
+					runWorld(t, n, func(c comm.Comm) error {
+						send := comm.Alloc(block)
+						fillRank(send, c.Rank())
+						var recv comm.Buffer
+						if c.Rank() == root {
+							recv = comm.Alloc(n * block)
+						}
+						if err := Gather(c, root, send, recv, kind, 10); err != nil {
+							return err
+						}
+						if c.Rank() != root {
+							return nil
+						}
+						for r := 0; r < n; r++ {
+							for i := 0; i < block; i++ {
+								if got := recv.Bytes()[r*block+i]; got != wantRank(r, i) {
+									return fmt.Errorf("root recv[%d][%d] = %d, want %d", r, i, got, wantRank(r, i))
+								}
+							}
+						}
+						return nil
+					})
+				})
+			}
+		}
+	}
+}
+
+func TestScatterBothKindsAllRoots(t *testing.T) {
+	t.Parallel()
+	for _, kind := range []Kind{Linear, Binomial} {
+		for _, n := range []int{1, 2, 3, 5, 8, 13} {
+			for _, root := range []int{0, n - 1, n / 2} {
+				kind, n, root := kind, n, root
+				t.Run(fmt.Sprintf("%v/n%d/root%d", kind, n, root), func(t *testing.T) {
+					t.Parallel()
+					const block = 5
+					runWorld(t, n, func(c comm.Comm) error {
+						var send comm.Buffer
+						if c.Rank() == root {
+							send = comm.Alloc(n * block)
+							for r := 0; r < n; r++ {
+								for i := 0; i < block; i++ {
+									send.Bytes()[r*block+i] = wantRank(r, i)
+								}
+							}
+						}
+						recv := comm.Alloc(block)
+						if err := Scatter(c, root, send, recv, kind, 20); err != nil {
+							return err
+						}
+						for i := 0; i < block; i++ {
+							if got := recv.Bytes()[i]; got != wantRank(c.Rank(), i) {
+								return fmt.Errorf("rank %d recv[%d] = %d, want %d", c.Rank(), i, got, wantRank(c.Rank(), i))
+							}
+						}
+						return nil
+					})
+				})
+			}
+		}
+	}
+}
+
+// TestGatherScatterRoundTrip is a property test: scatter(gather(x)) == x
+// for random payloads, sizes and roots.
+func TestGatherScatterRoundTrip(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64, nRaw, rootRaw, kindRaw uint8) bool {
+		n := int(nRaw%9) + 1
+		root := int(rootRaw) % n
+		kind := Kind(kindRaw % 2)
+		block := 4
+		rng := rand.New(rand.NewSource(seed))
+		inputs := make([][]byte, n)
+		for r := range inputs {
+			inputs[r] = make([]byte, block)
+			rng.Read(inputs[r])
+		}
+		ok := true
+		err := runtime.Run(runtime.Config{Ranks: n}, func(c comm.Comm) error {
+			send := comm.Alloc(block)
+			copy(send.Bytes(), inputs[c.Rank()])
+			var mid comm.Buffer
+			if c.Rank() == root {
+				mid = comm.Alloc(n * block)
+			}
+			if err := Gather(c, root, send, mid, kind, 1); err != nil {
+				return err
+			}
+			back := comm.Alloc(block)
+			if err := Scatter(c, root, mid, back, kind, 2); err != nil {
+				return err
+			}
+			if !bytes.Equal(back.Bytes(), inputs[c.Rank()]) {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	t.Parallel()
+	for _, n := range []int{1, 2, 5, 9, 16} {
+		for _, root := range []int{0, n - 1} {
+			n, root := n, root
+			t.Run(fmt.Sprintf("n%d/root%d", n, root), func(t *testing.T) {
+				t.Parallel()
+				runWorld(t, n, func(c comm.Comm) error {
+					b := comm.Alloc(16)
+					if c.Rank() == root {
+						fillRank(b, root)
+					}
+					if err := Bcast(c, root, b, 30); err != nil {
+						return err
+					}
+					for i := range b.Bytes() {
+						if b.Bytes()[i] != wantRank(root, i) {
+							return fmt.Errorf("rank %d byte %d = %d", c.Rank(), i, b.Bytes()[i])
+						}
+					}
+					return nil
+				})
+			})
+		}
+	}
+}
+
+func TestBarrierCollective(t *testing.T) {
+	t.Parallel()
+	for _, n := range []int{1, 2, 7, 16} {
+		n := n
+		t.Run(fmt.Sprintf("n%d", n), func(t *testing.T) {
+			t.Parallel()
+			runWorld(t, n, func(c comm.Comm) error {
+				for i := 0; i < 3; i++ {
+					if err := Barrier(c, 1000); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestGatherErrors(t *testing.T) {
+	t.Parallel()
+	runWorld(t, 2, func(c comm.Comm) error {
+		send := comm.Alloc(4)
+		if c.Rank() == 0 {
+			if err := Gather(c, 0, send, comm.Alloc(4), Linear, 1); err == nil {
+				return fmt.Errorf("short recv accepted (linear)")
+			}
+			if err := Gather(c, 0, send, comm.Alloc(4), Binomial, 1); err == nil {
+				return fmt.Errorf("short recv accepted (binomial)")
+			}
+			if err := Gather(c, 9, send, comm.Alloc(8), Linear, 1); err == nil {
+				return fmt.Errorf("bad root accepted")
+			}
+			if err := Gather(c, 0, send, comm.Alloc(8), Kind(9), 1); err == nil {
+				return fmt.Errorf("bad kind accepted")
+			}
+			// Unblock rank 1's sends from the two short-recv attempts.
+			ok := comm.Alloc(8)
+			if err := Gather(c, 0, send, ok, Linear, 2); err != nil {
+				return err
+			}
+			return Gather(c, 0, send, ok, Binomial, 3)
+		}
+		if err := Gather(c, 9, send, comm.Buffer{}, Linear, 1); err == nil {
+			return fmt.Errorf("bad root accepted on non-root")
+		}
+		if err := Gather(c, 0, send, comm.Buffer{}, Kind(9), 1); err == nil {
+			return fmt.Errorf("bad kind accepted on non-root")
+		}
+		if err := Gather(c, 0, send, comm.Buffer{}, Linear, 2); err != nil {
+			return err
+		}
+		return Gather(c, 0, send, comm.Buffer{}, Binomial, 3)
+	})
+}
+
+func TestSubtreeExtent(t *testing.T) {
+	t.Parallel()
+	cases := []struct{ rel, n, want int }{
+		{0, 8, 8}, {1, 8, 1}, {2, 8, 2}, {3, 8, 1}, {4, 8, 4}, {6, 8, 2},
+		{0, 6, 6}, {2, 6, 2}, {4, 6, 2}, {5, 6, 1},
+		{4, 5, 1}, {0, 1, 1},
+	}
+	for _, tc := range cases {
+		if got := subtreeExtent(tc.rel, tc.n); got != tc.want {
+			t.Errorf("subtreeExtent(%d, %d) = %d, want %d", tc.rel, tc.n, got, tc.want)
+		}
+	}
+	// Property: subtree extents tile the rank space exactly: the root's
+	// children [mask, mask+extent) are disjoint and cover 1..n-1.
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%63) + 1
+		covered := make([]bool, n)
+		covered[0] = true
+		var visit func(rel int)
+		visit = func(rel int) {
+			low := subtreeExtent(rel, n)
+			if rel != 0 {
+				low = rel & (-rel)
+			}
+			for mask := 1; mask < low || rel == 0 && mask < n; mask <<= 1 {
+				child := rel + mask
+				if child >= n {
+					break
+				}
+				if covered[child] {
+					return
+				}
+				covered[child] = true
+				visit(child)
+			}
+		}
+		visit(0)
+		for _, c := range covered {
+			if !c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	t.Parallel()
+	if Linear.String() != "linear" || Binomial.String() != "binomial" {
+		t.Error("kind strings wrong")
+	}
+	if Kind(7).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+}

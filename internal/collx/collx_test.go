@@ -1,0 +1,344 @@
+package collx
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"alltoallx/internal/comm"
+	"alltoallx/internal/netmodel"
+	"alltoallx/internal/runtime"
+	"alltoallx/internal/sim"
+	"alltoallx/internal/topo"
+)
+
+func tinyMapping(t *testing.T, nodes, ppn int) *topo.Mapping {
+	t.Helper()
+	m, err := topo.NewMapping(topo.Spec{Sockets: 2, NumaPerSocket: 2, CoresPerNuma: 2}, nodes, ppn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func putInt64s(b comm.Buffer, vals ...int64) {
+	for i, v := range vals {
+		putLeU64(b.Bytes()[i*8:], uint64(v))
+	}
+}
+
+func getInt64(b comm.Buffer, i int) int64 { return int64(leU64(b.Bytes()[i*8:])) }
+
+func TestLeU64RoundTrip(t *testing.T) {
+	t.Parallel()
+	f := func(v uint64) bool {
+		var buf [8]byte
+		putLeU64(buf[:], v)
+		return leU64(buf[:]) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOps(t *testing.T) {
+	t.Parallel()
+	a, b := comm.Alloc(16), comm.Alloc(16)
+	putInt64s(a, 5, -3)
+	putInt64s(b, 7, -10)
+	SumInt64(a.Bytes(), b.Bytes())
+	if getInt64(a, 0) != 12 || getInt64(a, 1) != -13 {
+		t.Errorf("SumInt64: %d, %d", getInt64(a, 0), getInt64(a, 1))
+	}
+	putInt64s(a, 5, -3)
+	MaxInt64(a.Bytes(), b.Bytes())
+	if getInt64(a, 0) != 7 || getInt64(a, 1) != -3 {
+		t.Errorf("MaxInt64: %d, %d", getInt64(a, 0), getInt64(a, 1))
+	}
+}
+
+// checkAllgather verifies recv holds every rank's pattern block.
+func checkAllgather(recv comm.Buffer, p, block int) error {
+	for r := 0; r < p; r++ {
+		for i := 0; i < block; i++ {
+			want := byte(r*13 + i)
+			if got := recv.Bytes()[r*block+i]; got != want {
+				return fmt.Errorf("allgather block %d byte %d: got %d, want %d", r, i, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+func TestAllgatherFlat(t *testing.T) {
+	t.Parallel()
+	for _, algo := range []string{"ring", "bruck"} {
+		for _, n := range []int{1, 2, 3, 7, 8, 12} {
+			algo, n := algo, n
+			t.Run(fmt.Sprintf("%s/n%d", algo, n), func(t *testing.T) {
+				t.Parallel()
+				const block = 5
+				err := runtime.Run(runtime.Config{Ranks: n}, func(c comm.Comm) error {
+					send := comm.Alloc(block)
+					for i := range send.Bytes() {
+						send.Bytes()[i] = byte(c.Rank()*13 + i)
+					}
+					recv := comm.Alloc(n * block)
+					var err error
+					if algo == "ring" {
+						err = AllgatherRing(c, send, recv, block)
+					} else {
+						err = AllgatherBruck(c, send, recv, block)
+					}
+					if err != nil {
+						return err
+					}
+					return checkAllgather(recv, n, block)
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestNodeAwareAllgather(t *testing.T) {
+	t.Parallel()
+	const block = 6
+	m := tinyMapping(t, 3, 8)
+	err := runtime.Run(runtime.Config{Mapping: m}, func(c comm.Comm) error {
+		na, err := NewNodeAware(c)
+		if err != nil {
+			return err
+		}
+		p := c.Size()
+		send := comm.Alloc(block)
+		for i := range send.Bytes() {
+			send.Bytes()[i] = byte(c.Rank()*13 + i)
+		}
+		recv := comm.Alloc(p * block)
+		for iter := 0; iter < 2; iter++ { // persistent reuse
+			if err := na.Allgather(send, recv, block); err != nil {
+				return err
+			}
+			if err := checkAllgather(recv, p, block); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceFlatAndNodeAware(t *testing.T) {
+	t.Parallel()
+	for _, variant := range []string{"flat", "node-aware"} {
+		for _, shape := range []struct{ nodes, ppn int }{{1, 5}, {2, 8}, {3, 4}, {2, 7}} {
+			variant, shape := variant, shape
+			t.Run(fmt.Sprintf("%s/%dx%d", variant, shape.nodes, shape.ppn), func(t *testing.T) {
+				t.Parallel()
+				m := tinyMapping(t, shape.nodes, shape.ppn)
+				p := shape.nodes * shape.ppn
+				wantSum := int64(0)
+				for r := 0; r < p; r++ {
+					wantSum += int64(r + 1)
+				}
+				err := runtime.Run(runtime.Config{Mapping: m}, func(c comm.Comm) error {
+					buf := comm.Alloc(16)
+					putInt64s(buf, int64(c.Rank()+1), int64(-(c.Rank() + 1)))
+					var err error
+					if variant == "flat" {
+						err = AllreduceRecursiveDoubling(c, buf, SumInt64)
+					} else {
+						na, e := NewNodeAware(c)
+						if e != nil {
+							return e
+						}
+						err = na.Allreduce(buf, SumInt64)
+					}
+					if err != nil {
+						return err
+					}
+					if getInt64(buf, 0) != wantSum || getInt64(buf, 1) != -wantSum {
+						return fmt.Errorf("rank %d: got (%d, %d), want (%d, %d)",
+							c.Rank(), getInt64(buf, 0), getInt64(buf, 1), wantSum, -wantSum)
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestReduceScatterFlatAndNodeAware(t *testing.T) {
+	t.Parallel()
+	for _, variant := range []string{"flat", "node-aware"} {
+		variant := variant
+		t.Run(variant, func(t *testing.T) {
+			t.Parallel()
+			m := tinyMapping(t, 2, 8)
+			p := 16
+			const block = 8
+			err := runtime.Run(runtime.Config{Mapping: m}, func(c comm.Comm) error {
+				send := comm.Alloc(p * block)
+				// send block d = rank*1000 + d
+				for d := 0; d < p; d++ {
+					putLeU64(send.Bytes()[d*block:], uint64(int64(c.Rank()*1000+d)))
+				}
+				recv := comm.Alloc(block)
+				var err error
+				if variant == "flat" {
+					err = ReduceScatterPairwise(c, send, recv, block, SumInt64)
+				} else {
+					na, e := NewNodeAware(c)
+					if e != nil {
+						return e
+					}
+					err = na.ReduceScatter(send, recv, block, SumInt64)
+				}
+				if err != nil {
+					return err
+				}
+				// sum over s of (s*1000 + rank)
+				want := int64(0)
+				for s := 0; s < p; s++ {
+					want += int64(s*1000 + c.Rank())
+				}
+				if got := getInt64(recv, 0); got != want {
+					return fmt.Errorf("rank %d: got %d, want %d", c.Rank(), got, want)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestNodeAwareBcast(t *testing.T) {
+	t.Parallel()
+	for _, root := range []int{0, 5, 12} {
+		root := root
+		t.Run(fmt.Sprintf("root%d", root), func(t *testing.T) {
+			t.Parallel()
+			m := tinyMapping(t, 2, 8)
+			err := runtime.Run(runtime.Config{Mapping: m}, func(c comm.Comm) error {
+				na, err := NewNodeAware(c)
+				if err != nil {
+					return err
+				}
+				b := comm.Alloc(24)
+				if c.Rank() == root {
+					for i := range b.Bytes() {
+						b.Bytes()[i] = byte(root*7 + i)
+					}
+				}
+				if err := na.Bcast(root, b); err != nil {
+					return err
+				}
+				for i := range b.Bytes() {
+					if b.Bytes()[i] != byte(root*7+i) {
+						return fmt.Errorf("rank %d byte %d = %d", c.Rank(), i, b.Bytes()[i])
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestAllreduceProperty: allreduce(sum) equals the serial sum for random
+// inputs and rank counts.
+func TestAllreduceProperty(t *testing.T) {
+	t.Parallel()
+	f := func(vals []int64, nRaw uint8) bool {
+		n := int(nRaw%12) + 1
+		if len(vals) < n {
+			return true // not enough inputs to be interesting
+		}
+		var want int64
+		for r := 0; r < n; r++ {
+			want += vals[r]
+		}
+		ok := true
+		err := runtime.Run(runtime.Config{Ranks: n}, func(c comm.Comm) error {
+			buf := comm.Alloc(8)
+			putLeU64(buf.Bytes(), uint64(vals[c.Rank()]))
+			if err := AllreduceRecursiveDoubling(c, buf, SumInt64); err != nil {
+				return err
+			}
+			if getInt64(buf, 0) != want {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNodeAwareUnderSimulation: the extensions run under the simulator
+// with virtual buffers (the mode a capability-scale study would use).
+func TestNodeAwareUnderSimulation(t *testing.T) {
+	t.Parallel()
+	model := netmodel.Dane()
+	model.Node = topo.Spec{Sockets: 2, NumaPerSocket: 2, CoresPerNuma: 2}
+	cfg := sim.ClusterConfig{Model: model, Nodes: 4, PPN: 8, Seed: 5}
+	stats, err := sim.RunCluster(cfg, func(c comm.Comm) error {
+		na, err := NewNodeAware(c)
+		if err != nil {
+			return err
+		}
+		const block = 256
+		if err := na.Allgather(comm.Virtual(block), comm.Virtual(c.Size()*block), block); err != nil {
+			return err
+		}
+		if err := na.Allreduce(comm.Virtual(4096), SumInt64); err != nil {
+			return err
+		}
+		if err := na.ReduceScatter(comm.Virtual(c.Size()*block), comm.Virtual(block), block, SumInt64); err != nil {
+			return err
+		}
+		return na.Bcast(0, comm.Virtual(4096))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.VirtualSeconds <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	t.Parallel()
+	err := runtime.Run(runtime.Config{Ranks: 2}, func(c comm.Comm) error {
+		if err := AllgatherRing(c, comm.Alloc(4), comm.Alloc(4), 4); err == nil {
+			return fmt.Errorf("short allgather recv accepted")
+		}
+		if err := AllgatherBruck(c, comm.Alloc(4), comm.Alloc(16), 0); err == nil {
+			return fmt.Errorf("zero block accepted")
+		}
+		if err := ReduceScatterPairwise(c, comm.Alloc(4), comm.Alloc(8), 8, SumInt64); err == nil {
+			return fmt.Errorf("short reduce-scatter send accepted")
+		}
+		if _, err := NewNodeAware(c); err == nil {
+			return fmt.Errorf("topology-less NewNodeAware accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+package comm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocAndWrap(t *testing.T) {
+	t.Parallel()
+	b := Alloc(16)
+	if b.Len() != 16 || b.IsVirtual() || len(b.Bytes()) != 16 {
+		t.Fatalf("Alloc(16): len=%d virtual=%v", b.Len(), b.IsVirtual())
+	}
+	p := []byte{1, 2, 3}
+	w := Wrap(p)
+	if w.Len() != 3 || w.IsVirtual() {
+		t.Fatalf("Wrap: len=%d virtual=%v", w.Len(), w.IsVirtual())
+	}
+	w.Bytes()[0] = 9
+	if p[0] != 9 {
+		t.Error("Wrap must alias, not copy")
+	}
+}
+
+func TestVirtual(t *testing.T) {
+	t.Parallel()
+	v := Virtual(100)
+	if v.Len() != 100 || !v.IsVirtual() || v.Bytes() != nil {
+		t.Fatalf("Virtual(100): len=%d virtual=%v", v.Len(), v.IsVirtual())
+	}
+	s := v.Slice(10, 50)
+	if s.Len() != 50 || !s.IsVirtual() {
+		t.Fatalf("virtual slice: len=%d virtual=%v", s.Len(), s.IsVirtual())
+	}
+	// A zero-length virtual buffer is not "virtual" by definition (no
+	// storage needed either way).
+	if Virtual(0).IsVirtual() {
+		t.Error("zero-length buffer should not report virtual")
+	}
+}
+
+func TestSlicePanics(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct{ off, n int }{{-1, 2}, {0, -1}, {8, 9}, {17, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Slice(%d, %d) did not panic", tc.off, tc.n)
+				}
+			}()
+			Alloc(16).Slice(tc.off, tc.n)
+		}()
+	}
+}
+
+func TestAllocPanicsOnNegative(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Error("Alloc(-1) did not panic")
+		}
+	}()
+	Alloc(-1)
+}
+
+func TestCopyData(t *testing.T) {
+	t.Parallel()
+	src := Alloc(8)
+	for i := range src.Bytes() {
+		src.Bytes()[i] = byte(i)
+	}
+	dst := Alloc(8)
+	n, err := CopyData(dst, src)
+	if err != nil || n != 8 {
+		t.Fatalf("CopyData = %d, %v", n, err)
+	}
+	for i, b := range dst.Bytes() {
+		if b != byte(i) {
+			t.Fatalf("dst[%d] = %d", i, b)
+		}
+	}
+	if _, err := CopyData(Alloc(4), src); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	// Virtual-to-real and real-to-virtual copies are legal no-ops.
+	if n, err := CopyData(Virtual(8), src); err != nil || n != 8 {
+		t.Errorf("copy to virtual: %d, %v", n, err)
+	}
+	if n, err := CopyData(dst, Virtual(8)); err != nil || n != 8 {
+		t.Errorf("copy from virtual: %d, %v", n, err)
+	}
+}
+
+// TestSliceProperty: slicing preserves offsets — byte i of Slice(off, n)
+// is byte off+i of the parent, for arbitrary valid ranges.
+func TestSliceProperty(t *testing.T) {
+	t.Parallel()
+	base := Alloc(257)
+	for i := range base.Bytes() {
+		base.Bytes()[i] = byte(i * 7)
+	}
+	f := func(offRaw, nRaw uint16) bool {
+		off := int(offRaw) % base.Len()
+		n := int(nRaw) % (base.Len() - off)
+		s := base.Slice(off, n)
+		if s.Len() != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if s.Bytes()[i] != base.Bytes()[off+i] {
+				return false
+			}
+		}
+		// Nested slice composes.
+		if n >= 2 {
+			s2 := s.Slice(1, n-1)
+			if s2.Bytes()[0] != base.Bytes()[off+1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckHelpers(t *testing.T) {
+	t.Parallel()
+	if err := CheckPeer(0, 4); err != nil {
+		t.Error(err)
+	}
+	if err := CheckPeer(3, 4); err != nil {
+		t.Error(err)
+	}
+	if err := CheckPeer(4, 4); err == nil {
+		t.Error("peer == size accepted")
+	}
+	if err := CheckPeer(-1, 4); err == nil {
+		t.Error("negative peer accepted")
+	}
+	if err := CheckTag(0); err != nil {
+		t.Error(err)
+	}
+	if err := CheckTag(-1); err == nil {
+		t.Error("negative tag accepted")
+	}
+}

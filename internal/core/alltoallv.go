@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"alltoallx/internal/comm"
+)
+
+// Alltoallv performs a variable-sized all-to-all (the MPI_Alltoallv
+// counterpart discussed in the paper's related work, Section 2.1): rank r
+// sends sendCounts[i] bytes starting at sdispls[i] to rank i, and receives
+// recvCounts[j] bytes from rank j into rdispls[j]. Counts must be
+// symmetric across ranks (recvCounts[j] on r equals sendCounts[r] on j).
+// The exchange uses pairwise stepping, which bounds in-flight traffic the
+// same way Algorithm 1 does for the fixed-size case.
+func Alltoallv(c comm.Comm, send comm.Buffer, sendCounts, sdispls []int,
+	recv comm.Buffer, recvCounts, rdispls []int) error {
+	n, r := c.Size(), c.Rank()
+	if err := checkVArgs(c, send, sendCounts, sdispls, "send"); err != nil {
+		return err
+	}
+	if err := checkVArgs(c, recv, recvCounts, rdispls, "recv"); err != nil {
+		return err
+	}
+	if sendCounts[r] != recvCounts[r] {
+		return fmt.Errorf("core: alltoallv self counts differ: send %d, recv %d", sendCounts[r], recvCounts[r])
+	}
+	if err := c.Memcpy(
+		recv.Slice(rdispls[r], recvCounts[r]),
+		send.Slice(sdispls[r], sendCounts[r])); err != nil {
+		return err
+	}
+	for i := 1; i < n; i++ {
+		sp := (r + i) % n
+		rp := (r - i + n) % n
+		if err := c.Sendrecv(
+			send.Slice(sdispls[sp], sendCounts[sp]), sp, tagAlltoall,
+			recv.Slice(rdispls[rp], recvCounts[rp]), rp, tagAlltoall); err != nil {
+			return fmt.Errorf("core: alltoallv step %d (to %d, from %d): %w", i, sp, rp, err)
+		}
+	}
+	return nil
+}
+
+// AlltoallvNonblocking is Alltoallv with every exchange posted up front
+// (Algorithm 2's strategy for the variable-sized case).
+func AlltoallvNonblocking(c comm.Comm, send comm.Buffer, sendCounts, sdispls []int,
+	recv comm.Buffer, recvCounts, rdispls []int) error {
+	n, r := c.Size(), c.Rank()
+	if err := checkVArgs(c, send, sendCounts, sdispls, "send"); err != nil {
+		return err
+	}
+	if err := checkVArgs(c, recv, recvCounts, rdispls, "recv"); err != nil {
+		return err
+	}
+	reqs := make([]comm.Request, 0, 2*(n-1))
+	for i := 1; i < n; i++ {
+		sp := (r + i) % n
+		rp := (r - i + n) % n
+		rq, err := c.Irecv(recv.Slice(rdispls[rp], recvCounts[rp]), rp, tagAlltoall)
+		if err != nil {
+			return err
+		}
+		sq, err := c.Isend(send.Slice(sdispls[sp], sendCounts[sp]), sp, tagAlltoall)
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, rq, sq)
+	}
+	if err := c.Memcpy(
+		recv.Slice(rdispls[r], recvCounts[r]),
+		send.Slice(sdispls[r], sendCounts[r])); err != nil {
+		return err
+	}
+	return c.WaitAll(reqs)
+}
+
+// CountsFromSizes builds contiguous displacements for the given per-peer
+// byte counts, returning the displacement slice and the total length —
+// the common packing helper for Alltoallv callers.
+func CountsFromSizes(counts []int) (displs []int, total int) {
+	displs = make([]int, len(counts))
+	for i, cnt := range counts {
+		displs[i] = total
+		total += cnt
+	}
+	return displs, total
+}
+
+func checkVArgs(c comm.Comm, buf comm.Buffer, counts, displs []int, what string) error {
+	n := c.Size()
+	if len(counts) != n || len(displs) != n {
+		return fmt.Errorf("core: alltoallv %s counts/displs length %d/%d, want %d", what, len(counts), len(displs), n)
+	}
+	for i := 0; i < n; i++ {
+		if counts[i] < 0 {
+			return fmt.Errorf("core: alltoallv %s count[%d] = %d negative", what, i, counts[i])
+		}
+		if displs[i] < 0 || displs[i]+counts[i] > buf.Len() {
+			return fmt.Errorf("core: alltoallv %s segment %d [%d, %d) outside %d-byte buffer",
+				what, i, displs[i], displs[i]+counts[i], buf.Len())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+
+	"alltoallx/internal/comm"
+)
+
+// bruckState is the persistent form of the Bruck algorithm with cached
+// staging buffers.
+type bruckState struct {
+	*basic
+	tmp, packS, packR comm.Buffer
+}
+
+func newBruck(c comm.Comm, maxBlock int, _ Options) (Alltoaller, error) {
+	st := &bruckState{}
+	st.basic = newBasic("bruck", c, maxBlock, st.run)
+	return st, nil
+}
+
+func (st *bruckState) run(c comm.Comm, send, recv comm.Buffer, block int) error {
+	n := c.Size()
+	tmp := ensureStage(&st.tmp, send, n*block)
+	half := (n + 1) / 2
+	packS := ensureStage(&st.packS, send, half*block)
+	packR := ensureStage(&st.packR, send, half*block)
+	return alltoallBruckBuf(c, send, recv, block, tmp, packS, packR)
+}
+
+// alltoallBruck is the allocation-per-call form used as an inner exchange.
+func alltoallBruck(c comm.Comm, send, recv comm.Buffer, block int) error {
+	n := c.Size()
+	alloc := func(k int) comm.Buffer {
+		if send.IsVirtual() {
+			return comm.Virtual(k)
+		}
+		return comm.Alloc(k)
+	}
+	half := (n + 1) / 2
+	return alltoallBruckBuf(c, send, recv, block, alloc(n*block), alloc(half*block), alloc(half*block))
+}
+
+// alltoallBruckBuf implements the Bruck algorithm: ceil(log2 p) exchange
+// steps, each moving up to p/2 blocks — the message-count-optimal exchange
+// the paper identifies as the small-message choice (and the likely system
+// MPI algorithm at small sizes).
+//
+// Phase 1 rotates so local block i is the data destined to rank r+i. In
+// step k (k = 1, 2, 4, ...) every rank forwards the blocks whose index has
+// bit k set to rank r+k, storing received blocks at the same indices; a
+// block with displacement i therefore reaches its destination after the
+// steps matching i's binary digits, at which point local block i holds the
+// data *from* rank r-i. Phase 3 inverts that rotation into recv order.
+func alltoallBruckBuf(c comm.Comm, send, recv comm.Buffer, block int, tmp, packS, packR comm.Buffer) error {
+	n, r := c.Size(), c.Rank()
+	if tmp.Len() < n*block {
+		return fmt.Errorf("core: bruck tmp buffer %d short of %d", tmp.Len(), n*block)
+	}
+	// Phase 1: rotation tmp[i] = send[(r+i) mod n].
+	for i := 0; i < n; i++ {
+		src := (r + i) % n
+		if _, err := comm.CopyData(tmp.Slice(i*block, block), send.Slice(src*block, block)); err != nil {
+			return err
+		}
+	}
+	if err := c.ChargeCopy(n*block, n); err != nil {
+		return err
+	}
+	// Phase 2: log-step exchanges.
+	for k := 1; k < n; k <<= 1 {
+		dst := (r + k) % n
+		src := (r - k + n) % n
+		m := 0
+		for i := 0; i < n; i++ {
+			if i&k == 0 {
+				continue
+			}
+			if _, err := comm.CopyData(packS.Slice(m*block, block), tmp.Slice(i*block, block)); err != nil {
+				return err
+			}
+			m++
+		}
+		if err := c.ChargeCopy(m*block, m); err != nil {
+			return err
+		}
+		if err := c.Sendrecv(
+			packS.Slice(0, m*block), dst, tagAlltoall+k,
+			packR.Slice(0, m*block), src, tagAlltoall+k); err != nil {
+			return fmt.Errorf("core: bruck step k=%d: %w", k, err)
+		}
+		m = 0
+		for i := 0; i < n; i++ {
+			if i&k == 0 {
+				continue
+			}
+			if _, err := comm.CopyData(tmp.Slice(i*block, block), packR.Slice(m*block, block)); err != nil {
+				return err
+			}
+			m++
+		}
+		if err := c.ChargeCopy(m*block, m); err != nil {
+			return err
+		}
+	}
+	// Phase 3: tmp[i] now holds data from rank (r-i); invert into recv.
+	for i := 0; i < n; i++ {
+		src := (r - i + n) % n
+		if _, err := comm.CopyData(recv.Slice(src*block, block), tmp.Slice(i*block, block)); err != nil {
+			return err
+		}
+	}
+	return c.ChargeCopy(n*block, n)
+}

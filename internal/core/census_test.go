@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"alltoallx/internal/comm"
+	"alltoallx/internal/netmodel"
+	"alltoallx/internal/sim"
+)
+
+// census runs one algorithm under the simulator with no barrier and
+// returns the exact point-to-point message count — the structural quantity
+// (messages injected per exchange) that the paper's analysis is built on.
+func census(t *testing.T, algo string, nodes, ppn, block int, opts Options) uint64 {
+	t.Helper()
+	model := netmodel.Dane()
+	model.Node = tinyNode()
+	if ppn > model.Node.CoresPerNode() {
+		t.Fatalf("ppn %d exceeds tiny node", ppn)
+	}
+	cfg := sim.ClusterConfig{Model: model, Nodes: nodes, PPN: ppn, Seed: 1}
+	stats, err := sim.RunCluster(cfg, func(c comm.Comm) error {
+		a, err := New(algo, c, block, opts)
+		if err != nil {
+			return err
+		}
+		send := comm.Virtual(c.Size() * block)
+		recv := comm.Virtual(c.Size() * block)
+		return a.Alltoall(send, recv, block)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats.Messages
+}
+
+// TestMessageCensus checks closed-form message counts per algorithm:
+// these are the quantities the node-aware family is designed to reduce
+// (Section 3), so they are pinned exactly.
+func TestMessageCensus(t *testing.T) {
+	t.Parallel()
+	const (
+		nodes = 3
+		ppn   = 8
+		block = 16
+	)
+	p := nodes * ppn
+
+	t.Run("pairwise", func(t *testing.T) {
+		t.Parallel()
+		want := uint64(p * (p - 1)) // every ordered pair, self via memcpy
+		if got := census(t, "pairwise", nodes, ppn, block, Options{}); got != want {
+			t.Errorf("messages = %d, want %d", got, want)
+		}
+	})
+	t.Run("nonblocking", func(t *testing.T) {
+		t.Parallel()
+		want := uint64(p * (p - 1))
+		if got := census(t, "nonblocking", nodes, ppn, block, Options{}); got != want {
+			t.Errorf("messages = %d, want %d", got, want)
+		}
+	})
+	t.Run("bruck", func(t *testing.T) {
+		t.Parallel()
+		rounds := uint64(math.Ceil(math.Log2(float64(p))))
+		want := uint64(p) * rounds // one message per rank per round
+		if got := census(t, "bruck", nodes, ppn, block, Options{}); got != want {
+			t.Errorf("messages = %d, want %d (rounds %d)", got, want, rounds)
+		}
+	})
+	t.Run("hierarchical", func(t *testing.T) {
+		t.Parallel()
+		// Gather: ppn-1 per node; leader exchange: nodes*(nodes-1);
+		// scatter: ppn-1 per node.
+		want := uint64(2*nodes*(ppn-1) + nodes*(nodes-1))
+		if got := census(t, "hierarchical", nodes, ppn, block, Options{}); got != want {
+			t.Errorf("messages = %d, want %d", got, want)
+		}
+	})
+	t.Run("node-aware", func(t *testing.T) {
+		t.Parallel()
+		// Inter: each rank to its counterpart on every other node;
+		// intra: each rank with every other rank of its node.
+		want := uint64(p*(nodes-1) + nodes*ppn*(ppn-1))
+		if got := census(t, "node-aware", nodes, ppn, block, Options{}); got != want {
+			t.Errorf("messages = %d, want %d", got, want)
+		}
+	})
+	t.Run("locality-aware", func(t *testing.T) {
+		t.Parallel()
+		const g = 4
+		tg := (ppn / g) * nodes // total groups
+		// Inter: each rank to its counterpart in every other group;
+		// intra: within each group of g.
+		want := uint64(p*(tg-1) + tg*g*(g-1))
+		if got := census(t, "locality-aware", nodes, ppn, block, Options{PPG: g}); got != want {
+			t.Errorf("messages = %d, want %d", got, want)
+		}
+	})
+	t.Run("multileader-node-aware", func(t *testing.T) {
+		t.Parallel()
+		const q = 4
+		nL := ppn / q
+		leaders := nodes * nL
+		// Gather + scatter within leader groups, inter among same-slot
+		// leaders across nodes, intra among each node's leaders.
+		want := uint64(2*leaders*(q-1) + leaders*(nodes-1) + nodes*nL*(nL-1))
+		if got := census(t, "multileader-node-aware", nodes, ppn, block, Options{PPL: q}); got != want {
+			t.Errorf("messages = %d, want %d", got, want)
+		}
+	})
+}
+
+// TestDegenerateEquivalences verifies the paper's §3.3 observation: with
+// every rank its own leader (PPL=1), multileader-node-aware reduces to the
+// node-aware algorithm — message-for-message.
+func TestDegenerateEquivalences(t *testing.T) {
+	t.Parallel()
+	const (
+		nodes = 3
+		ppn   = 8
+		block = 16
+	)
+	mlna1 := census(t, "multileader-node-aware", nodes, ppn, block, Options{PPL: 1})
+	na := census(t, "node-aware", nodes, ppn, block, Options{})
+	if mlna1 != na {
+		t.Errorf("multileader-node-aware with PPL=1 sends %d messages, node-aware %d", mlna1, na)
+	}
+	// One whole-node group makes locality-aware exactly node-aware.
+	la := census(t, "locality-aware", nodes, ppn, block, Options{PPG: ppn})
+	if la != na {
+		t.Errorf("locality-aware with PPG=ppn sends %d messages, node-aware %d", la, na)
+	}
+	// Multileader with PPL=ppn is exactly hierarchical.
+	ml := census(t, "multileader", nodes, ppn, block, Options{PPL: ppn})
+	hier := census(t, "hierarchical", nodes, ppn, block, Options{})
+	if ml != hier {
+		t.Errorf("multileader with PPL=ppn sends %d messages, hierarchical %d", ml, hier)
+	}
+}
+
+// TestCensusScalesWithNodes: inter-node message reduction is the point of
+// the paper; at fixed ppn the node-aware count must grow linearly in
+// nodes^2 only through the counterpart term, staying far below direct.
+func TestCensusScalesWithNodes(t *testing.T) {
+	t.Parallel()
+	const ppn, block = 8, 8
+	for _, nodes := range []int{2, 4} {
+		direct := census(t, "pairwise", nodes, ppn, block, Options{})
+		na := census(t, "node-aware", nodes, ppn, block, Options{})
+		if na >= direct {
+			t.Errorf("nodes=%d: node-aware (%d msgs) not below direct (%d)", nodes, na, direct)
+		}
+	}
+	_ = fmt.Sprint
+}

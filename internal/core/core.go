@@ -1,0 +1,203 @@
+// Package core implements the paper's contribution: the all-to-all
+// algorithm family for emerging many-core systems.
+//
+// Baselines (Section 2): pairwise exchange (Algorithm 1), nonblocking
+// (Algorithm 2), the Bruck algorithm, and a batched hybrid (Section 2.1).
+//
+// Node-aware family (Section 3): hierarchical and multi-leader all-to-all
+// (Algorithm 3), node-aware aggregation (Algorithm 4), and the paper's two
+// novel algorithms — locality-aware aggregation (Algorithm 4 with several
+// groups per node, Section 3.2) and multi-leader + node-aware (Algorithm 5,
+// Section 3.3). A system-MPI emulation reproduces the vendor baseline the
+// paper compares against.
+//
+// Every algorithm follows MPI_Alltoall semantics: with p ranks and block
+// bytes per destination, send block i goes to rank i and recv block j ends
+// up holding rank j's contribution. Algorithms are persistent objects: New
+// performs all communicator splitting and staging-buffer setup (the paper
+// also constructs sub-communicators outside its timed regions), and
+// Alltoall is the measured hot path.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"alltoallx/internal/coll"
+	"alltoallx/internal/comm"
+	"alltoallx/internal/netmodel"
+	"alltoallx/internal/trace"
+)
+
+// Inner selects the algorithm used for the all-to-all exchanges *inside*
+// the node-aware family (the paper benchmarks each algorithm with both
+// pairwise and nonblocking inner exchanges; Bruck is also available).
+type Inner string
+
+// Inner exchange choices.
+const (
+	InnerPairwise    Inner = "pairwise"
+	InnerNonblocking Inner = "nonblocking"
+	InnerBruck       Inner = "bruck"
+)
+
+// Tag bases: one per phase so concurrent phases on one communicator can
+// never cross-match.
+const (
+	tagAlltoall = 101
+	tagGather   = 201
+	tagScatter  = 301
+)
+
+// Options configures algorithm construction.
+type Options struct {
+	// Inner is the exchange used for internal all-to-alls (default
+	// pairwise, the paper's solid lines).
+	Inner Inner
+	// PPL is processes per leader for multileader and
+	// multileader-node-aware (default 4; the paper tests 4, 8, 16).
+	PPL int
+	// PPG is processes per group for locality-aware (default 4; the paper
+	// tests 4, 8, 16).
+	PPG int
+	// BatchWindow is the in-flight message window of the batched
+	// algorithm (default 32).
+	BatchWindow int
+	// GatherKind selects the gather/scatter tree for hierarchical
+	// algorithms (default Linear, matching large-block MPI behavior).
+	GatherKind coll.Kind
+	// Sys is the system-MPI emulation profile (required for "system-mpi").
+	Sys netmodel.SysProfile
+}
+
+func (o Options) withDefaults() Options {
+	if o.Inner == "" {
+		o.Inner = InnerPairwise
+	}
+	if o.PPL == 0 {
+		o.PPL = 4
+	}
+	if o.PPG == 0 {
+		o.PPG = 4
+	}
+	if o.BatchWindow == 0 {
+		o.BatchWindow = 32
+	}
+	return o
+}
+
+// Alltoaller is a persistent all-to-all operation bound to one rank of a
+// communicator.
+type Alltoaller interface {
+	// Name returns the algorithm's registry name.
+	Name() string
+	// Alltoall exchanges block bytes per rank pair: send and recv must
+	// each hold Size()*block bytes.
+	Alltoall(send, recv comm.Buffer, block int) error
+	// Phases returns this rank's per-phase timings for the last Alltoall
+	// call (empty for algorithms without internal phases).
+	Phases() map[trace.Phase]float64
+}
+
+// factory builds an algorithm instance; maxBlock is the largest block the
+// instance must support (staging buffers are sized for it).
+type factory func(c comm.Comm, maxBlock int, o Options) (Alltoaller, error)
+
+var registry = map[string]factory{
+	"pairwise":    newPairwise,
+	"nonblocking": newNonblocking,
+	"batched":     newBatched,
+	"bruck":       newBruck,
+	"hierarchical": func(c comm.Comm, maxBlock int, o Options) (Alltoaller, error) {
+		return newHierarchical(c, maxBlock, o, true)
+	},
+	"multileader": func(c comm.Comm, maxBlock int, o Options) (Alltoaller, error) {
+		return newHierarchical(c, maxBlock, o, false)
+	},
+	"node-aware": func(c comm.Comm, maxBlock int, o Options) (Alltoaller, error) {
+		return newNodeAware(c, maxBlock, o, true)
+	},
+	"locality-aware": func(c comm.Comm, maxBlock int, o Options) (Alltoaller, error) {
+		return newNodeAware(c, maxBlock, o, false)
+	},
+	"multileader-node-aware": newMultileaderNodeAware,
+}
+
+// init registers system-mpi separately: its factory recursively calls New,
+// which would otherwise form an initialization cycle with the registry.
+func init() { registry["system-mpi"] = newSystemMPI }
+
+// Names returns all registered algorithm names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// New constructs a persistent all-to-all of the named algorithm on c,
+// able to exchange blocks up to maxBlock bytes. It is collective over c
+// (topology-aware algorithms split communicators during construction).
+func New(name string, c comm.Comm, maxBlock int, o Options) (Alltoaller, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown algorithm %q (have %v)", name, Names())
+	}
+	if c == nil {
+		return nil, fmt.Errorf("core: nil communicator")
+	}
+	if maxBlock <= 0 {
+		return nil, fmt.Errorf("core: maxBlock must be positive, got %d", maxBlock)
+	}
+	return f(c, maxBlock, o.withDefaults())
+}
+
+// checkArgs validates an Alltoall invocation.
+func checkArgs(c comm.Comm, send, recv comm.Buffer, block, maxBlock int) error {
+	if block <= 0 {
+		return fmt.Errorf("core: block must be positive, got %d", block)
+	}
+	if block > maxBlock {
+		return fmt.Errorf("core: block %d exceeds maxBlock %d fixed at construction", block, maxBlock)
+	}
+	need := block * c.Size()
+	if send.Len() < need {
+		return fmt.Errorf("core: send buffer %d short of %d (%d ranks x %d)", send.Len(), need, c.Size(), block)
+	}
+	if recv.Len() < need {
+		return fmt.Errorf("core: recv buffer %d short of %d (%d ranks x %d)", recv.Len(), need, c.Size(), block)
+	}
+	return nil
+}
+
+// ensureStage (re)allocates *buf to n bytes matching ref's virtualness.
+// Staging buffers are kept across calls; they are only rebuilt when the
+// caller switches between real and virtual payloads.
+func ensureStage(buf *comm.Buffer, ref comm.Buffer, n int) comm.Buffer {
+	if buf.Len() != n || buf.IsVirtual() != ref.IsVirtual() {
+		if ref.IsVirtual() {
+			*buf = comm.Virtual(n)
+		} else {
+			*buf = comm.Alloc(n)
+		}
+	}
+	return *buf
+}
+
+// runInner dispatches an internal all-to-all exchange.
+func runInner(c comm.Comm, inner Inner, send, recv comm.Buffer, block int) error {
+	if c.Size() == 1 {
+		return c.Memcpy(recv.Slice(0, block), send.Slice(0, block))
+	}
+	switch inner {
+	case InnerPairwise:
+		return alltoallPairwise(c, send, recv, block)
+	case InnerNonblocking:
+		return alltoallNonblocking(c, send, recv, block)
+	case InnerBruck:
+		return alltoallBruck(c, send, recv, block)
+	}
+	return fmt.Errorf("core: unknown inner exchange %q", inner)
+}

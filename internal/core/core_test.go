@@ -1,0 +1,318 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"alltoallx/internal/coll"
+	"alltoallx/internal/comm"
+	"alltoallx/internal/netmodel"
+	"alltoallx/internal/runtime"
+	"alltoallx/internal/sim"
+	"alltoallx/internal/testutil"
+	"alltoallx/internal/topo"
+	"alltoallx/internal/trace"
+)
+
+// tinyNode is a small 2-socket, 2-NUMA-per-socket, 2-core node: 8 ranks
+// per node, enough structure to exercise every locality level.
+func tinyNode() topo.Spec { return topo.Spec{Sockets: 2, NumaPerSocket: 2, CoresPerNuma: 2} }
+
+// liveBody returns the per-rank SPMD body that builds the named algorithm,
+// runs the pattern all-to-all twice (persistence check), and verifies.
+func liveBody(name string, opts Options, block int) func(c comm.Comm) error {
+	return func(c comm.Comm) error {
+		p, rank := c.Size(), c.Rank()
+		a, err := New(name, c, block, opts)
+		if err != nil {
+			return err
+		}
+		send := comm.Alloc(p * block)
+		recv := comm.Alloc(p * block)
+		testutil.FillAlltoall(send, rank, p, block)
+		for iter := 0; iter < 2; iter++ {
+			for i := range recv.Bytes() {
+				recv.Bytes()[i] = 0xEE
+			}
+			if err := a.Alltoall(send, recv, block); err != nil {
+				return fmt.Errorf("iter %d: %w", iter, err)
+			}
+			if err := testutil.CheckAlltoall(recv, rank, p, block); err != nil {
+				return fmt.Errorf("iter %d: %w", iter, err)
+			}
+		}
+		return nil
+	}
+}
+
+func mapping(t *testing.T, nodes, ppn int) *topo.Mapping {
+	t.Helper()
+	m, err := topo.NewMapping(tinyNode(), nodes, ppn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestAlltoallLiveCorrectness runs every algorithm on the live runtime
+// across topologies, inner exchanges and block sizes.
+func TestAlltoallLiveCorrectness(t *testing.T) {
+	t.Parallel()
+	type cfg struct {
+		name  string
+		nodes int
+		ppn   int
+		opts  Options
+		block int
+	}
+	var cases []cfg
+	for _, inner := range []Inner{InnerPairwise, InnerNonblocking, InnerBruck} {
+		for _, shape := range []struct{ nodes, ppn int }{{2, 8}, {3, 4}} {
+			cases = append(cases,
+				cfg{"hierarchical", shape.nodes, shape.ppn, Options{Inner: inner}, 3},
+				cfg{"multileader", shape.nodes, shape.ppn, Options{Inner: inner, PPL: 2}, 3},
+				cfg{"node-aware", shape.nodes, shape.ppn, Options{Inner: inner}, 3},
+				cfg{"locality-aware", shape.nodes, shape.ppn, Options{Inner: inner, PPG: 2}, 3},
+				cfg{"multileader-node-aware", shape.nodes, shape.ppn, Options{Inner: inner, PPL: 2}, 3},
+			)
+		}
+	}
+	// Direct algorithms don't use inner exchanges; cover block-size
+	// variety (including a rendezvous-sized block) and odd rank counts.
+	for _, block := range []int{1, 4, 64, 9000} {
+		cases = append(cases,
+			cfg{"pairwise", 2, 5, Options{}, block},
+			cfg{"nonblocking", 2, 5, Options{}, block},
+			cfg{"batched", 2, 5, Options{BatchWindow: 3}, block},
+			cfg{"bruck", 2, 5, Options{}, block},
+		)
+	}
+	// Leader/group size sweeps.
+	for _, q := range []int{1, 2, 4, 8} {
+		cases = append(cases,
+			cfg{"multileader", 2, 8, Options{PPL: q}, 2},
+			cfg{"locality-aware", 2, 8, Options{PPG: q}, 2},
+			cfg{"multileader-node-aware", 2, 8, Options{PPL: q}, 2},
+		)
+	}
+	// Binomial gather/scatter path.
+	cases = append(cases,
+		cfg{"hierarchical", 2, 8, Options{GatherKind: coll.Binomial}, 5},
+		cfg{"multileader-node-aware", 2, 8, Options{PPL: 4, GatherKind: coll.Binomial}, 5},
+	)
+	// System MPI emulation around both cutovers.
+	sysOpts := Options{Sys: netmodel.SysProfile{
+		SmallAlgo: "bruck", SmallMax: 8,
+		MidAlgo: "nonblocking", MidMax: 32,
+		LargeAlgo: "pairwise", OverheadScale: 1,
+	}}
+	cases = append(cases,
+		cfg{"system-mpi", 2, 4, sysOpts, 4},
+		cfg{"system-mpi", 2, 4, sysOpts, 16},
+		cfg{"system-mpi", 2, 4, sysOpts, 64},
+	)
+
+	for _, tc := range cases {
+		tc := tc
+		label := fmt.Sprintf("%s/n%d_ppn%d_b%d_%s_ppl%d_ppg%d",
+			tc.name, tc.nodes, tc.ppn, tc.block, tc.opts.Inner, tc.opts.PPL, tc.opts.PPG)
+		t.Run(label, func(t *testing.T) {
+			t.Parallel()
+			m := mapping(t, tc.nodes, tc.ppn)
+			if err := runtime.Run(runtime.Config{Mapping: m}, liveBody(tc.name, tc.opts, tc.block)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestAlltoallSimulatedCorrectness runs every algorithm under the
+// discrete-event simulator with real payloads: the virtual-time transport
+// must deliver exactly the same bytes as the live one.
+func TestAlltoallSimulatedCorrectness(t *testing.T) {
+	t.Parallel()
+	model := netmodel.Dane()
+	model.Node = tinyNode()
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"pairwise", Options{}},
+		{"nonblocking", Options{}},
+		{"batched", Options{BatchWindow: 4}},
+		{"bruck", Options{}},
+		{"hierarchical", Options{}},
+		{"multileader", Options{PPL: 2}},
+		{"node-aware", Options{}},
+		{"locality-aware", Options{PPG: 2}},
+		{"multileader-node-aware", Options{PPL: 2}},
+		{"multileader-node-aware/nonblocking", Options{PPL: 4, Inner: InnerNonblocking}},
+		{"locality-aware/bruck", Options{PPG: 4, Inner: InnerBruck}},
+	} {
+		tc := tc
+		algo := tc.name
+		if i := indexByte(algo, '/'); i >= 0 {
+			algo = algo[:i]
+		}
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			const block = 7
+			cfg := sim.ClusterConfig{Model: model, Nodes: 3, PPN: 8, Seed: 42}
+			_, err := sim.RunCluster(cfg, liveBody(algo, tc.opts, block))
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestAlltoallVirtualRuns checks that virtual (payload-free) buffers flow
+// through every algorithm in the simulator — the mode used for
+// paper-scale figures.
+func TestAlltoallVirtualRuns(t *testing.T) {
+	t.Parallel()
+	model := netmodel.Dane()
+	model.Node = tinyNode()
+	for _, name := range []string{
+		"pairwise", "nonblocking", "batched", "bruck",
+		"hierarchical", "multileader", "node-aware", "locality-aware", "multileader-node-aware",
+	} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			const block = 64
+			cfg := sim.ClusterConfig{Model: model, Nodes: 2, PPN: 8, Seed: 7}
+			stats, err := sim.RunCluster(cfg, func(c comm.Comm) error {
+				a, err := New(name, c, block, Options{PPL: 2, PPG: 2})
+				if err != nil {
+					return err
+				}
+				send := comm.Virtual(c.Size() * block)
+				recv := comm.Virtual(c.Size() * block)
+				return a.Alltoall(send, recv, block)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.VirtualSeconds <= 0 {
+				t.Fatalf("virtual run advanced no time: %+v", stats)
+			}
+		})
+	}
+}
+
+// TestNewErrors covers construction validation.
+func TestNewErrors(t *testing.T) {
+	t.Parallel()
+	m := mapping(t, 2, 8)
+	err := runtime.Run(runtime.Config{Mapping: m}, func(c comm.Comm) error {
+		if _, err := New("no-such-algo", c, 8, Options{}); err == nil {
+			return fmt.Errorf("expected error for unknown algorithm")
+		}
+		if _, err := New("pairwise", c, 0, Options{}); err == nil {
+			return fmt.Errorf("expected error for zero maxBlock")
+		}
+		if _, err := New("multileader", c, 8, Options{PPL: 3}); err == nil {
+			return fmt.Errorf("expected error for PPL not dividing ppn")
+		}
+		if _, err := New("locality-aware", c, 8, Options{PPG: 16}); err == nil {
+			return fmt.Errorf("expected error for PPG > ppn")
+		}
+		if _, err := New("system-mpi", c, 8, Options{}); err == nil {
+			return fmt.Errorf("expected error for system-mpi without profile")
+		}
+		a, err := New("pairwise", c, 8, Options{})
+		if err != nil {
+			return err
+		}
+		send := comm.Alloc(c.Size() * 8)
+		recv := comm.Alloc(c.Size() * 8)
+		if err := a.Alltoall(send, recv, 16); err == nil {
+			return fmt.Errorf("expected error for block > maxBlock")
+		}
+		if err := a.Alltoall(send.Slice(0, 4), recv, 8); err == nil {
+			return fmt.Errorf("expected error for short send buffer")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoTopology ensures topology-aware algorithms refuse communicators
+// without a mapping.
+func TestNoTopology(t *testing.T) {
+	t.Parallel()
+	err := runtime.Run(runtime.Config{Ranks: 4}, func(c comm.Comm) error {
+		for _, name := range []string{"hierarchical", "node-aware", "multileader", "locality-aware", "multileader-node-aware"} {
+			if _, err := New(name, c, 4, Options{PPL: 1, PPG: 1}); err == nil {
+				return fmt.Errorf("%s: expected topology error", name)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPhasesRecorded checks that hierarchical algorithms expose the phase
+// breakdown the paper's Figures 13-16 report.
+func TestPhasesRecorded(t *testing.T) {
+	t.Parallel()
+	model := netmodel.Dane()
+	model.Node = tinyNode()
+	phasesByRank := make([]map[trace.Phase]float64, 16)
+	cfg := sim.ClusterConfig{Model: model, Nodes: 2, PPN: 8, Seed: 3}
+	_, err := sim.RunCluster(cfg, func(c comm.Comm) error {
+		a, err := New("node-aware", c, 8, Options{})
+		if err != nil {
+			return err
+		}
+		send := comm.Virtual(c.Size() * 8)
+		recv := comm.Virtual(c.Size() * 8)
+		if err := a.Alltoall(send, recv, 8); err != nil {
+			return err
+		}
+		phasesByRank[c.Rank()] = a.Phases()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := trace.MaxMerge(phasesByRank)
+	for _, ph := range []trace.Phase{trace.PhaseInter, trace.PhaseIntra, trace.PhaseRepack, trace.PhaseTotal} {
+		if merged[ph] <= 0 {
+			t.Errorf("phase %s not recorded: %v", ph, merged)
+		}
+	}
+	if merged[trace.PhaseTotal] < merged[trace.PhaseInter] {
+		t.Errorf("total %g < inter %g", merged[trace.PhaseTotal], merged[trace.PhaseInter])
+	}
+}
+
+// TestNames checks registry completeness.
+func TestNames(t *testing.T) {
+	t.Parallel()
+	want := []string{"batched", "bruck", "hierarchical", "locality-aware", "multileader",
+		"multileader-node-aware", "node-aware", "nonblocking", "pairwise", "system-mpi"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

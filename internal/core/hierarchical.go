@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+
+	"alltoallx/internal/coll"
+	"alltoallx/internal/comm"
+	"alltoallx/internal/topo"
+	"alltoallx/internal/trace"
+)
+
+// worldInfo extracts the topology facts the node-aware family needs from
+// the world communicator.
+type worldInfo struct {
+	mapping *topo.Mapping
+	p       int
+	ppn     int
+	nnodes  int
+	myNode  int
+	myLocal int
+}
+
+func getWorldInfo(c comm.Comm) (worldInfo, error) {
+	m := c.Topo()
+	if m == nil {
+		return worldInfo{}, fmt.Errorf("core: communicator carries no topology; node-aware algorithms need the world communicator of a mapped cluster")
+	}
+	if m.Size() != c.Size() {
+		return worldInfo{}, fmt.Errorf("core: topology size %d != communicator size %d", m.Size(), c.Size())
+	}
+	return worldInfo{
+		mapping: m,
+		p:       m.Size(),
+		ppn:     m.PPN(),
+		nnodes:  m.Nodes(),
+		myNode:  m.NodeOf(c.Rank()),
+		myLocal: m.LocalRank(c.Rank()),
+	}, nil
+}
+
+// checkDivides validates a leader/group size against the node's rank count.
+func checkDivides(what string, q, ppn int) error {
+	if q <= 0 || q > ppn {
+		return fmt.Errorf("core: %s %d out of range 1..%d", what, q, ppn)
+	}
+	if ppn%q != 0 {
+		return fmt.Errorf("core: %s %d must divide ranks-per-node %d", what, q, ppn)
+	}
+	return nil
+}
+
+// hierarchical implements Algorithm 3: gather each leader group's data to
+// its leader, perform an all-to-all among all leaders, scatter back. With
+// one leader per node (hier=true) this is the standard hierarchical
+// algorithm; with ppn/PPL leaders per node it is the multi-leader variant.
+type hierarchical struct {
+	name string
+	c    comm.Comm
+	info worldInfo
+
+	q       int // processes per leader (group size)
+	nGroups int // leader groups per node
+	nLead   int // total leaders = nGroups * nnodes
+
+	local   comm.Comm // my leader group; rank 0 is the leader
+	leaders comm.Comm // all leaders (nil on non-leaders)
+
+	inner      Inner
+	gatherKind coll.Kind
+	maxBlock   int
+	rec        *trace.Recorder
+
+	myGroup  int // group index within my node
+	isLeader bool
+
+	bufA, bufB comm.Buffer // leader staging: q*p*maxBlock each
+}
+
+func newHierarchical(c comm.Comm, maxBlock int, o Options, hier bool) (Alltoaller, error) {
+	info, err := getWorldInfo(c)
+	if err != nil {
+		return nil, err
+	}
+	name := "multileader"
+	q := o.PPL
+	if hier {
+		name = "hierarchical"
+		q = info.ppn // exactly one leader per node
+	}
+	if err := checkDivides("processes-per-leader", q, info.ppn); err != nil {
+		return nil, err
+	}
+	h := &hierarchical{
+		name: name, c: c, info: info,
+		q: q, nGroups: info.ppn / q, nLead: (info.ppn / q) * info.nnodes,
+		inner: o.Inner, gatherKind: o.GatherKind, maxBlock: maxBlock,
+		rec: trace.NewRecorder(c.Now),
+	}
+	h.myGroup = info.myLocal / q
+	h.isLeader = info.myLocal%q == 0
+
+	// local_comm: the q ranks of my leader group, leader first.
+	h.local, err = c.Split(info.myNode*h.nGroups+h.myGroup, info.myLocal%q)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s local split: %w", name, err)
+	}
+	// group_comm: all leaders, ordered by world rank, so leader
+	// (node N, group g) sits at index N*nGroups+g.
+	color := -1
+	if h.isLeader {
+		color = 0
+	}
+	h.leaders, err = c.Split(color, c.Rank())
+	if err != nil {
+		return nil, fmt.Errorf("core: %s leader split: %w", name, err)
+	}
+	return h, nil
+}
+
+func (h *hierarchical) Name() string { return h.name }
+
+func (h *hierarchical) Phases() map[trace.Phase]float64 { return h.rec.Snapshot() }
+
+// leaderWorld returns the world rank of member j of the leader-group with
+// global leader index d (= node*nGroups + group).
+func (h *hierarchical) leaderWorld(d, j int) int {
+	node := d / h.nGroups
+	g := d % h.nGroups
+	return node*h.info.ppn + g*h.q + j
+}
+
+func (h *hierarchical) Alltoall(send, recv comm.Buffer, block int) error {
+	if err := checkArgs(h.c, send, recv, block, h.maxBlock); err != nil {
+		return err
+	}
+	h.rec.Reset()
+	stopTotal := h.rec.Time(trace.PhaseTotal)
+	defer stopTotal()
+
+	p, q := h.info.p, h.q
+	var bufA, bufB comm.Buffer
+	if h.isLeader {
+		bufA = ensureStage(&h.bufA, send, q*p*block)
+		bufB = ensureStage(&h.bufB, send, q*p*block)
+	}
+
+	// Gather: each member ships its whole send buffer to the leader.
+	stop := h.rec.Time(trace.PhaseGather)
+	err := coll.Gather(h.local, 0, send.Slice(0, p*block), bufA, h.gatherKind, tagGather)
+	stop()
+	if err != nil {
+		return fmt.Errorf("core: %s gather: %w", h.name, err)
+	}
+
+	if h.isLeader {
+		// Repack member-major [m][dstWorld] into leader-destination-major
+		// [D][m][dj] blocks for the leader exchange.
+		stop = h.rec.Time(trace.PhaseRepack)
+		for d := 0; d < h.nLead; d++ {
+			for m := 0; m < q; m++ {
+				for dj := 0; dj < q; dj++ {
+					dw := h.leaderWorld(d, dj)
+					from := bufA.Slice(m*p*block+dw*block, block)
+					to := bufB.Slice((d*q*q+m*q+dj)*block, block)
+					if _, err := comm.CopyData(to, from); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		err = h.c.ChargeCopy(p*q*block, p*q)
+		stop()
+		if err != nil {
+			return err
+		}
+
+		// All-to-all among leaders: q*q*block bytes per leader pair.
+		stop = h.rec.Time(trace.PhaseInter)
+		err = runInner(h.leaders, h.inner, bufB, bufA, q*q*block)
+		stop()
+		if err != nil {
+			return fmt.Errorf("core: %s leader exchange: %w", h.name, err)
+		}
+
+		// Repack received [D][m][d] into member-major scatter layout
+		// [d][srcWorld].
+		stop = h.rec.Time(trace.PhaseRepack)
+		for d := 0; d < q; d++ {
+			for dl := 0; dl < h.nLead; dl++ {
+				for m := 0; m < q; m++ {
+					sw := h.leaderWorld(dl, m)
+					from := bufA.Slice((dl*q*q+m*q+d)*block, block)
+					to := bufB.Slice(d*p*block+sw*block, block)
+					if _, err := comm.CopyData(to, from); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		err = h.c.ChargeCopy(p*q*block, p*q)
+		stop()
+		if err != nil {
+			return err
+		}
+	}
+
+	// Scatter: each member receives its final recv buffer from the leader.
+	stop = h.rec.Time(trace.PhaseScatter)
+	err = coll.Scatter(h.local, 0, bufB, recv.Slice(0, p*block), h.gatherKind, tagScatter)
+	stop()
+	if err != nil {
+		return fmt.Errorf("core: %s scatter: %w", h.name, err)
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+
+	"alltoallx/internal/coll"
+	"alltoallx/internal/comm"
+	"alltoallx/internal/trace"
+)
+
+// mlNodeAware implements Algorithm 5, the paper's novel multi-leader +
+// node-aware all-to-all (Section 3.3): gather to each of the node's
+// leaders, replace the hierarchical inter-leader exchange with the
+// node-aware scheme — an inter-node all-to-all among same-slot leaders
+// (each leader sends exactly one message per node) followed by an
+// intra-node all-to-all among the node's leaders — then scatter. Gather/
+// scatter costs shrink with more leaders while inter-node message counts
+// stay minimal: the small-message sweet spot the paper reports.
+type mlNodeAware struct {
+	c    comm.Comm
+	info worldInfo
+
+	q        int // processes per leader
+	nL       int // leaders per node
+	myK, myJ int
+
+	leaderLocal comm.Comm // my gather group (size q); leader is rank 0
+	interComm   comm.Comm // same-slot leaders across nodes (size nnodes); nil on non-leaders
+	intraComm   comm.Comm // the node's leaders (size nL); nil on non-leaders
+
+	inner      Inner
+	gatherKind coll.Kind
+	maxBlock   int
+	rec        *trace.Recorder
+	isLeader   bool
+
+	bufA, bufB comm.Buffer // leader staging: q*p*maxBlock each
+}
+
+func newMultileaderNodeAware(c comm.Comm, maxBlock int, o Options) (Alltoaller, error) {
+	info, err := getWorldInfo(c)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkDivides("processes-per-leader", o.PPL, info.ppn); err != nil {
+		return nil, err
+	}
+	m := &mlNodeAware{
+		c: c, info: info,
+		q: o.PPL, nL: info.ppn / o.PPL,
+		inner: o.Inner, gatherKind: o.GatherKind, maxBlock: maxBlock,
+		rec: trace.NewRecorder(c.Now),
+	}
+	m.myK = info.myLocal / m.q
+	m.myJ = info.myLocal % m.q
+	m.isLeader = m.myJ == 0
+
+	// leader_comm: my gather group.
+	m.leaderLocal, err = c.Split(info.myNode*m.nL+m.myK, m.myJ)
+	if err != nil {
+		return nil, fmt.Errorf("core: multileader-node-aware local split: %w", err)
+	}
+	// group_comm: leaders sharing my slot k across all nodes — the
+	// node-aware inter-node exchange; rank order = node order.
+	color := -1
+	if m.isLeader {
+		color = m.myK
+	}
+	m.interComm, err = c.Split(color, c.Rank())
+	if err != nil {
+		return nil, fmt.Errorf("core: multileader-node-aware inter split: %w", err)
+	}
+	// leader_group_comm: the leaders of my node; rank order = slot order.
+	color = -1
+	if m.isLeader {
+		color = info.myNode
+	}
+	m.intraComm, err = c.Split(color, c.Rank())
+	if err != nil {
+		return nil, fmt.Errorf("core: multileader-node-aware intra split: %w", err)
+	}
+	return m, nil
+}
+
+func (m *mlNodeAware) Name() string { return "multileader-node-aware" }
+
+func (m *mlNodeAware) Phases() map[trace.Phase]float64 { return m.rec.Snapshot() }
+
+func (m *mlNodeAware) Alltoall(send, recv comm.Buffer, block int) error {
+	if err := checkArgs(m.c, send, recv, block, m.maxBlock); err != nil {
+		return err
+	}
+	m.rec.Reset()
+	stopTotal := m.rec.Time(trace.PhaseTotal)
+	defer stopTotal()
+
+	p, q, ppn, nn, nL := m.info.p, m.q, m.info.ppn, m.info.nnodes, m.nL
+	var bufA, bufB comm.Buffer
+	if m.isLeader {
+		bufA = ensureStage(&m.bufA, send, q*p*block)
+		bufB = ensureStage(&m.bufB, send, q*p*block)
+	}
+
+	// Gather members' send buffers to the leader: bufA = [j][dstWorld].
+	stop := m.rec.Time(trace.PhaseGather)
+	err := coll.Gather(m.leaderLocal, 0, send.Slice(0, p*block), bufA, m.gatherKind, tagGather)
+	stop()
+	if err != nil {
+		return fmt.Errorf("core: multileader-node-aware gather: %w", err)
+	}
+
+	if m.isLeader {
+		// Repack for the inter-node exchange: bufB = [N'][j][l'] — all of
+		// my members' data for every rank of node N'.
+		stop = m.rec.Time(trace.PhaseRepack)
+		for n2 := 0; n2 < nn; n2++ {
+			for j := 0; j < q; j++ {
+				for l2 := 0; l2 < ppn; l2++ {
+					from := bufA.Slice(j*p*block+(n2*ppn+l2)*block, block)
+					to := bufB.Slice((n2*q*ppn+j*ppn+l2)*block, block)
+					if _, err := comm.CopyData(to, from); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		err = m.c.ChargeCopy(p*q*block, p*q)
+		stop()
+		if err != nil {
+			return err
+		}
+
+		// Inter-node all-to-all among same-slot leaders: q*ppn*block per
+		// node pair — one message to each node, as in Algorithm 4.
+		stop = m.rec.Time(trace.PhaseInter)
+		err = runInner(m.interComm, m.inner, bufB, bufA, q*ppn*block)
+		stop()
+		if err != nil {
+			return fmt.Errorf("core: multileader-node-aware inter exchange: %w", err)
+		}
+
+		// bufA now holds [N'][j'][l']: data from member j' of the slot-k
+		// leader group on node N', destined to local rank l' of my node.
+		// Repack per destination leader: bufB = [k''][N'][j'][d] with
+		// l' = k''*q + d.
+		stop = m.rec.Time(trace.PhaseRepack)
+		for k2 := 0; k2 < nL; k2++ {
+			for n2 := 0; n2 < nn; n2++ {
+				for j2 := 0; j2 < q; j2++ {
+					for d := 0; d < q; d++ {
+						from := bufA.Slice((n2*q*ppn+j2*ppn+k2*q+d)*block, block)
+						to := bufB.Slice((k2*nn*q*q+n2*q*q+j2*q+d)*block, block)
+						if _, err := comm.CopyData(to, from); err != nil {
+							return err
+						}
+					}
+				}
+			}
+		}
+		err = m.c.ChargeCopy(p*q*block, p*q)
+		stop()
+		if err != nil {
+			return err
+		}
+
+		// Intra-node all-to-all among the node's leaders:
+		// nnodes*q*q*block per leader pair (the paper's
+		// r_size*n_nodes*ppl^2).
+		stop = m.rec.Time(trace.PhaseIntra)
+		err = runInner(m.intraComm, m.inner, bufB, bufA, nn*q*q*block)
+		stop()
+		if err != nil {
+			return fmt.Errorf("core: multileader-node-aware intra exchange: %w", err)
+		}
+
+		// bufA holds [k'''][N'][j'][d]: data from world rank
+		// (N', k''', j') for my member d. Repack into scatter layout
+		// [d][srcWorld].
+		stop = m.rec.Time(trace.PhaseRepack)
+		for k3 := 0; k3 < nL; k3++ {
+			for n2 := 0; n2 < nn; n2++ {
+				for j2 := 0; j2 < q; j2++ {
+					sw := n2*ppn + k3*q + j2
+					for d := 0; d < q; d++ {
+						from := bufA.Slice((k3*nn*q*q+n2*q*q+j2*q+d)*block, block)
+						to := bufB.Slice(d*p*block+sw*block, block)
+						if _, err := comm.CopyData(to, from); err != nil {
+							return err
+						}
+					}
+				}
+			}
+		}
+		err = m.c.ChargeCopy(p*q*block, p*q)
+		stop()
+		if err != nil {
+			return err
+		}
+	}
+
+	// Scatter the final receive buffers to members.
+	stop = m.rec.Time(trace.PhaseScatter)
+	err = coll.Scatter(m.leaderLocal, 0, bufB, recv.Slice(0, p*block), m.gatherKind, tagScatter)
+	stop()
+	if err != nil {
+		return fmt.Errorf("core: multileader-node-aware scatter: %w", err)
+	}
+	return nil
+}

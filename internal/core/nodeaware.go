@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+
+	"alltoallx/internal/comm"
+	"alltoallx/internal/trace"
+)
+
+// nodeAware implements Algorithm 4. With one group per node (g = ppn,
+// node-aware aggregation) every rank first exchanges with its equal-local-
+// rank counterparts across nodes — aggregating all data between a node
+// pair into ppn messages — then redistributes within the node. With
+// several groups per node (g < ppn) it is the paper's novel locality-aware
+// aggregation (Section 3.2): the intra-region redistribution happens among
+// g nearby ranks instead of all ppn, trading slightly more inter-region
+// messages for much cheaper local traffic.
+type nodeAware struct {
+	name string
+	c    comm.Comm
+	info worldInfo
+
+	g   int // processes per group
+	nG  int // groups per node
+	tg  int // total groups = nG * nnodes
+	myG int // my group index within the node
+	myJ int // my index within the group
+
+	local comm.Comm // my group (size g)
+	group comm.Comm // my j-counterparts in every group (size tg)
+
+	inner    Inner
+	maxBlock int
+	rec      *trace.Recorder
+
+	bufA, bufB comm.Buffer // staging: p*maxBlock each
+}
+
+func newNodeAware(c comm.Comm, maxBlock int, o Options, whole bool) (Alltoaller, error) {
+	info, err := getWorldInfo(c)
+	if err != nil {
+		return nil, err
+	}
+	name := "locality-aware"
+	g := o.PPG
+	if whole {
+		name = "node-aware"
+		g = info.ppn
+	}
+	if err := checkDivides("processes-per-group", g, info.ppn); err != nil {
+		return nil, err
+	}
+	na := &nodeAware{
+		name: name, c: c, info: info,
+		g: g, nG: info.ppn / g, tg: (info.ppn / g) * info.nnodes,
+		inner: o.Inner, maxBlock: maxBlock,
+		rec: trace.NewRecorder(c.Now),
+	}
+	na.myG = info.myLocal / g
+	na.myJ = info.myLocal % g
+
+	// local_comm: my group, ordered by position within the group.
+	na.local, err = c.Split(info.myNode*na.nG+na.myG, na.myJ)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s local split: %w", name, err)
+	}
+	// group_comm: the j-th member of every group, ordered by world rank,
+	// so group (node N, index k) sits at position N*nG+k.
+	na.group, err = c.Split(na.myJ, c.Rank())
+	if err != nil {
+		return nil, fmt.Errorf("core: %s group split: %w", name, err)
+	}
+	return na, nil
+}
+
+func (na *nodeAware) Name() string { return na.name }
+
+func (na *nodeAware) Phases() map[trace.Phase]float64 { return na.rec.Snapshot() }
+
+// groupWorld returns the world rank of member i of group t (t in
+// group-comm order: node-major, then group index).
+func (na *nodeAware) groupWorld(t, i int) int {
+	node := t / na.nG
+	k := t % na.nG
+	return node*na.info.ppn + k*na.g + i
+}
+
+func (na *nodeAware) Alltoall(send, recv comm.Buffer, block int) error {
+	if err := checkArgs(na.c, send, recv, block, na.maxBlock); err != nil {
+		return err
+	}
+	na.rec.Reset()
+	stopTotal := na.rec.Time(trace.PhaseTotal)
+	defer stopTotal()
+
+	p, g, tg := na.info.p, na.g, na.tg
+	bufA := ensureStage(&na.bufA, send, p*block)
+	bufB := ensureStage(&na.bufB, send, p*block)
+
+	// Repack send blocks into group-destination order: block for group t,
+	// member i at position t*g+i.
+	stop := na.rec.Time(trace.PhaseRepack)
+	for t := 0; t < tg; t++ {
+		for i := 0; i < g; i++ {
+			dw := na.groupWorld(t, i)
+			if _, err := comm.CopyData(bufA.Slice((t*g+i)*block, block), send.Slice(dw*block, block)); err != nil {
+				return err
+			}
+		}
+	}
+	err := na.c.ChargeCopy(p*block, p)
+	stop()
+	if err != nil {
+		return err
+	}
+
+	// Inter-region exchange: g*block bytes to the j-counterpart of every
+	// group. For node-aware (g = ppn) this is the node-pair aggregation:
+	// each rank talks to exactly one rank per node.
+	stop = na.rec.Time(trace.PhaseInter)
+	err = runInner(na.group, na.inner, bufA, bufB, g*block)
+	stop()
+	if err != nil {
+		return fmt.Errorf("core: %s inter exchange: %w", na.name, err)
+	}
+
+	// Repack [t][i] into member-major [i][t] for the local redistribution.
+	stop = na.rec.Time(trace.PhaseRepack)
+	for i := 0; i < g; i++ {
+		for t := 0; t < tg; t++ {
+			if _, err := comm.CopyData(bufA.Slice((i*tg+t)*block, block), bufB.Slice((t*g+i)*block, block)); err != nil {
+				return err
+			}
+		}
+	}
+	err = na.c.ChargeCopy(p*block, p)
+	stop()
+	if err != nil {
+		return err
+	}
+
+	// Intra-region exchange: tg*block bytes per member pair within the
+	// group.
+	stop = na.rec.Time(trace.PhaseIntra)
+	err = runInner(na.local, na.inner, bufA, bufB, tg*block)
+	stop()
+	if err != nil {
+		return fmt.Errorf("core: %s intra exchange: %w", na.name, err)
+	}
+
+	// Final repack into recv's world-rank order: the block received from
+	// member i covering group t originated at world rank (t, i).
+	stop = na.rec.Time(trace.PhaseRepack)
+	for i := 0; i < g; i++ {
+		for t := 0; t < tg; t++ {
+			sw := na.groupWorld(t, i)
+			if _, err := comm.CopyData(recv.Slice(sw*block, block), bufB.Slice((i*tg+t)*block, block)); err != nil {
+				return err
+			}
+		}
+	}
+	err = na.c.ChargeCopy(p*block, p)
+	stop()
+	return err
+}

@@ -1,0 +1,232 @@
+// Package model provides closed-form (LogGP-style) cost predictions for
+// every all-to-all algorithm in the family — the paper's Section 5 plan to
+// "develop a model to evaluate these impacts at capability-scale". Where
+// the discrete-event simulator (internal/sim) replays every message to
+// capture queueing and synchronization, this model evaluates arithmetic
+// bounds in microseconds, so it can rank algorithms at thousands of nodes
+// instantly. Predictions are validated against the simulator in tests:
+// absolute values differ (the model ignores convoy and matching effects),
+// but winners and crossovers must agree on the paper's regimes.
+package model
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"alltoallx/internal/netmodel"
+)
+
+// Config describes the job to predict.
+type Config struct {
+	Machine netmodel.Params
+	Nodes   int
+	PPN     int
+	// Block is bytes per rank pair.
+	Block int
+	// PPL and PPG parameterize the leader/group algorithms (defaults 4).
+	PPL int
+	PPG int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Nodes <= 0 || c.PPN <= 0 || c.Block <= 0 {
+		return c, fmt.Errorf("model: nodes, ppn and block must be positive (%d, %d, %d)", c.Nodes, c.PPN, c.Block)
+	}
+	if c.PPL == 0 {
+		c.PPL = 4
+	}
+	if c.PPG == 0 {
+		c.PPG = 4
+	}
+	if c.PPN%c.PPL != 0 || c.PPN%c.PPG != 0 {
+		return c, fmt.Errorf("model: PPL %d and PPG %d must divide ppn %d", c.PPL, c.PPG, c.PPN)
+	}
+	return c, nil
+}
+
+// Prediction is one algorithm's predicted cost decomposition.
+type Prediction struct {
+	Algorithm string
+	// Seconds is the predicted total.
+	Seconds float64
+	// InterSeconds and IntraSeconds decompose wire vs on-node time;
+	// LocalSeconds covers gathers/scatters/repacks.
+	InterSeconds float64
+	IntraSeconds float64
+	LocalSeconds float64
+}
+
+// nicTime returns the per-node NIC port time for msgs messages of the
+// given size each (the aggregate injection bound every node-aware
+// algorithm targets).
+func nicTime(m *netmodel.Params, msgs int, bytes float64) float64 {
+	return float64(msgs)*m.NICMsgCost + float64(msgs)*bytes/m.NICBW
+}
+
+// copyPass returns the single-core cost of repacking vol bytes in blocks
+// block copies.
+func copyPass(m *netmodel.Params, vol float64, blocks int) float64 {
+	return vol/m.CopyBW + float64(blocks)*m.CopyBlockCost
+}
+
+// intraXchg returns the on-node cost for each rank exchanging per-pair
+// bytes with peers other ranks of its node: receive-side copies serialize
+// on the rank's core, and the node's buses carry the volume.
+func intraXchg(m *netmodel.Params, peers int, bytes float64, ppn int) float64 {
+	core := float64(peers) * (bytes/m.CopyBW + m.RecvOverhead + m.SendOverhead)
+	// Bus load: all ranks' traffic over the node's NUMA buses.
+	busVol := float64(ppn) * float64(peers) * bytes
+	bus := busVol / (m.NumaBW * float64(m.Node.NumaPerNode()))
+	if bus > core {
+		return bus
+	}
+	return core
+}
+
+// steps returns a latency/synchronization term for k dependent exchange
+// rounds at the given locality latency.
+func steps(m *netmodel.Params, k int, lat float64) float64 {
+	return float64(k) * (lat + m.SendOverhead + m.RecvOverhead)
+}
+
+// Predict returns the cost prediction for one algorithm.
+func Predict(algo string, cfg Config) (Prediction, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return Prediction{}, err
+	}
+	m := &c.Machine
+	p := c.Nodes * c.PPN
+	s := float64(c.Block)
+	ppn := c.PPN
+	nn := c.Nodes
+	pr := Prediction{Algorithm: algo}
+	switch algo {
+	case "pairwise", "nonblocking", "batched":
+		// Direct: every rank sends to every off-node rank through the NIC.
+		offNode := p - ppn
+		pr.InterSeconds = nicTime(m, ppn*offNode, s)
+		pr.IntraSeconds = intraXchg(m, ppn-1, s, ppn)
+		if algo == "pairwise" {
+			pr.LocalSeconds = steps(m, p-1, m.LatInterNode)
+		}
+	case "bruck":
+		rounds := int(math.Ceil(math.Log2(float64(p))))
+		// Each round ships ~half the local volume; rounds with stride
+		// below ppn stay on the node.
+		interRounds := 0
+		for k := 1; k < p; k <<= 1 {
+			if k >= ppn {
+				interRounds++
+			}
+		}
+		volPerRound := s * float64(p) / 2
+		pr.InterSeconds = nicTime(m, interRounds*ppn, volPerRound)
+		pr.IntraSeconds = float64(rounds-interRounds) * volPerRound / m.CopyBW * 1
+		// Pack/unpack every round plus the two rotations.
+		pr.LocalSeconds = float64(rounds)*2*copyPass(m, volPerRound, p/2) +
+			2*copyPass(m, s*float64(p), p) + steps(m, rounds, m.LatInterNode)
+	case "hierarchical", "multileader":
+		q := c.PPL
+		if algo == "hierarchical" {
+			q = ppn
+		}
+		nLead := (ppn / q) * nn
+		// Gather/scatter: the leader absorbs q-1 members' full buffers.
+		gather := float64(q-1) * (s * float64(p)) / m.CopyBW
+		// Leader exchange: every leader pair swaps q*q*s.
+		leadersPerNode := ppn / q
+		interMsgs := leadersPerNode * (nLead - leadersPerNode)
+		pr.InterSeconds = nicTime(m, interMsgs, float64(q*q)*s)
+		pr.LocalSeconds = 2*gather + 2*copyPass(m, s*float64(p*q), p*q)
+		pr.IntraSeconds = steps(m, nLead-1, m.LatInterNode)
+	case "node-aware", "locality-aware":
+		g := c.PPG
+		if algo == "node-aware" {
+			g = ppn
+		}
+		groupsPerNode := ppn / g
+		tg := groupsPerNode * nn
+		// Inter phase: each rank exchanges g*s with one rank per group.
+		offGroups := tg - groupsPerNode
+		pr.InterSeconds = nicTime(m, ppn*offGroups, float64(g)*s)
+		// Intra phase: tg*s with each of g-1 group mates (NUMA-near).
+		pr.IntraSeconds = intraXchg(m, g-1, float64(tg)*s, ppn)
+		pr.LocalSeconds = 3*copyPass(m, s*float64(p), p) + steps(m, tg-1, m.LatInterNode)
+	case "multileader-node-aware":
+		q := c.PPL
+		nLead := ppn / q
+		gather := float64(q-1) * (s * float64(p)) / m.CopyBW
+		// Inter: each leader sends one q*ppn*s message per other node.
+		pr.InterSeconds = nicTime(m, nLead*(nn-1), float64(q*ppn)*s)
+		// Intra: leaders swap nn*q*q*s within the node.
+		pr.IntraSeconds = intraXchg(m, nLead-1, float64(nn*q*q)*s, nLead)
+		pr.LocalSeconds = 2*gather + 3*copyPass(m, s*float64(p*q), p*q) + steps(m, nn-1, m.LatInterNode)
+	case "system-mpi":
+		prof := m.Sys
+		inner := prof.LargeAlgo
+		switch {
+		case c.Block <= prof.SmallMax:
+			inner = prof.SmallAlgo
+		case c.Block <= prof.MidMax:
+			inner = prof.MidAlgo
+		}
+		sub, err := Predict(inner, cfg)
+		if err != nil {
+			return Prediction{}, err
+		}
+		pr = sub
+		pr.Algorithm = "system-mpi"
+		pr.InterSeconds *= prof.OverheadScale
+		pr.IntraSeconds *= prof.OverheadScale
+		pr.LocalSeconds *= prof.OverheadScale
+	default:
+		return Prediction{}, fmt.Errorf("model: unknown algorithm %q", algo)
+	}
+	pr.Seconds = pr.InterSeconds + pr.IntraSeconds + pr.LocalSeconds
+	return pr, nil
+}
+
+// Algorithms returns the names Predict understands, in a stable order.
+func Algorithms() []string {
+	return []string{
+		"bruck", "hierarchical", "locality-aware", "multileader",
+		"multileader-node-aware", "node-aware", "nonblocking", "pairwise", "system-mpi",
+	}
+}
+
+// Rank predicts every algorithm for cfg and returns them fastest-first.
+func Rank(cfg Config) ([]Prediction, error) {
+	out := make([]Prediction, 0, len(Algorithms()))
+	for _, a := range Algorithms() {
+		pr, err := Predict(a, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pr)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Seconds < out[j].Seconds })
+	return out, nil
+}
+
+// Crossover returns the block size (within [lo, hi], powers of two) where
+// algorithm b first becomes faster than algorithm a, or 0 if it never
+// does — the analytic counterpart of reading a figure's crossover point.
+func Crossover(a, b string, cfg Config, lo, hi int) (int, error) {
+	for blk := lo; blk <= hi; blk *= 2 {
+		cfg.Block = blk
+		pa, err := Predict(a, cfg)
+		if err != nil {
+			return 0, err
+		}
+		pb, err := Predict(b, cfg)
+		if err != nil {
+			return 0, err
+		}
+		if pb.Seconds < pa.Seconds {
+			return blk, nil
+		}
+	}
+	return 0, nil
+}

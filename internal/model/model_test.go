@@ -1,0 +1,182 @@
+package model
+
+import (
+	"testing"
+
+	"alltoallx/internal/bench"
+	"alltoallx/internal/core"
+	"alltoallx/internal/netmodel"
+)
+
+func daneCfg(block int) Config {
+	return Config{Machine: netmodel.Dane(), Nodes: 32, PPN: 112, Block: block}
+}
+
+func TestPredictValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := Predict("node-aware", Config{Machine: netmodel.Dane()}); err == nil {
+		t.Error("zero config accepted")
+	}
+	cfg := daneCfg(64)
+	cfg.PPL = 5 // does not divide 112
+	if _, err := Predict("multileader", cfg); err == nil {
+		t.Error("non-dividing PPL accepted")
+	}
+	if _, err := Predict("warp-drive", daneCfg(64)); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestPredictPositiveAndDecomposed(t *testing.T) {
+	t.Parallel()
+	for _, algo := range Algorithms() {
+		for _, blk := range []int{4, 256, 4096} {
+			pr, err := Predict(algo, daneCfg(blk))
+			if err != nil {
+				t.Fatalf("%s @%d: %v", algo, blk, err)
+			}
+			if pr.Seconds <= 0 {
+				t.Errorf("%s @%d: non-positive prediction", algo, blk)
+			}
+			sum := pr.InterSeconds + pr.IntraSeconds + pr.LocalSeconds
+			if diff := pr.Seconds - sum; diff > 1e-12 || diff < -1e-12 {
+				t.Errorf("%s @%d: decomposition %g != total %g", algo, blk, sum, pr.Seconds)
+			}
+		}
+	}
+}
+
+// TestPaperRegimes: the analytic model must reproduce the paper's regime
+// structure on Dane at 32 nodes.
+func TestPaperRegimes(t *testing.T) {
+	t.Parallel()
+	// Small messages: multileader-node-aware beats node-aware, bruck and
+	// the direct exchanges.
+	small := daneCfg(4)
+	mlna, _ := Predict("multileader-node-aware", small)
+	for _, other := range []string{"node-aware", "bruck", "pairwise", "hierarchical"} {
+		pr, _ := Predict(other, small)
+		if mlna.Seconds >= pr.Seconds {
+			t.Errorf("at 4 B, multileader-node-aware (%.3e) should beat %s (%.3e)", mlna.Seconds, other, pr.Seconds)
+		}
+	}
+	// Large messages: node-aware family beats hierarchical and direct.
+	large := daneCfg(4096)
+	na, _ := Predict("node-aware", large)
+	for _, other := range []string{"hierarchical", "pairwise"} {
+		pr, _ := Predict(other, large)
+		if na.Seconds >= pr.Seconds {
+			t.Errorf("at 4096 B, node-aware (%.3e) should beat %s (%.3e)", na.Seconds, other, pr.Seconds)
+		}
+	}
+	// Hierarchical's gather/scatter dominate at large sizes.
+	hier, _ := Predict("hierarchical", large)
+	if hier.LocalSeconds < hier.InterSeconds {
+		t.Errorf("hierarchical at 4096 B should be local-phase bound: %+v", hier)
+	}
+	// Node-aware: inter-node dominates at every size (Figures 14-15).
+	for _, blk := range []int{4, 256, 4096} {
+		pr, _ := Predict("node-aware", daneCfg(blk))
+		if pr.InterSeconds < pr.IntraSeconds {
+			t.Errorf("node-aware @%d: intra (%.3e) above inter (%.3e)", blk, pr.IntraSeconds, pr.InterSeconds)
+		}
+	}
+}
+
+func TestRankSorted(t *testing.T) {
+	t.Parallel()
+	ranked, err := Rank(daneCfg(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != len(Algorithms()) {
+		t.Fatalf("ranked %d algorithms", len(ranked))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Seconds < ranked[i-1].Seconds {
+			t.Errorf("not sorted at %d", i)
+		}
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	t.Parallel()
+	// Somewhere in 4..4096, node-aware must overtake
+	// multileader-node-aware (the paper's small/large regime boundary).
+	cfg := daneCfg(0)
+	x, err := Crossover("multileader-node-aware", "node-aware", cfg, 4, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x == 0 {
+		t.Error("node-aware never overtakes multileader-node-aware in 4..4096")
+	}
+	// Pairwise never beats node-aware at this scale.
+	x, err = Crossover("node-aware", "pairwise", cfg, 4, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x != 0 {
+		t.Errorf("pairwise unexpectedly overtakes node-aware at %d B", x)
+	}
+}
+
+// TestModelAgreesWithSimulatorOnWinners: at a reduced scale both the
+// analytic model and the discrete-event simulator must pick the same
+// winner among the paper's main contenders in each regime.
+func TestModelAgreesWithSimulatorOnWinners(t *testing.T) {
+	t.Parallel()
+	m := netmodel.Dane()
+	contenders := map[string]core.Options{
+		"multileader-node-aware": {PPL: 4},
+		"node-aware":             {},
+		"hierarchical":           {},
+	}
+	for _, blk := range []int{4, 4096} {
+		bestSim, bestModel := "", ""
+		simBest, modelBest := 0.0, 0.0
+		for algo, opts := range contenders {
+			pt, err := bench.Measure(bench.Config{
+				Machine: m, Nodes: 8, PPN: 16, Algo: algo, Opts: opts, Block: blk, Runs: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bestSim == "" || pt.Seconds < simBest {
+				bestSim, simBest = algo, pt.Seconds
+			}
+			pr, err := Predict(algo, Config{Machine: m, Nodes: 8, PPN: 16, Block: blk})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bestModel == "" || pr.Seconds < modelBest {
+				bestModel, modelBest = algo, pr.Seconds
+			}
+		}
+		if bestSim != bestModel {
+			t.Errorf("at %d B: simulator picks %s, model picks %s", blk, bestSim, bestModel)
+		}
+	}
+}
+
+// TestCapabilityScale: the model must evaluate instantly far beyond what
+// the simulator could replay (the paper's capability-scale ambition).
+func TestCapabilityScale(t *testing.T) {
+	t.Parallel()
+	cfg := Config{Machine: netmodel.Tuolomne(), Nodes: 4096, PPN: 96, Block: 1024}
+	ranked, err := Rank(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranked[0].Seconds <= 0 {
+		t.Fatal("degenerate capability-scale prediction")
+	}
+	// At 4096 nodes the aggregating algorithms must dominate direct ones.
+	pos := map[string]int{}
+	for i, pr := range ranked {
+		pos[pr.Algorithm] = i
+	}
+	if pos["pairwise"] < pos["multileader-node-aware"] && pos["pairwise"] < pos["node-aware"] {
+		t.Errorf("direct exchange outranks aggregation at 4096 nodes: %v", ranked)
+	}
+}

@@ -1,0 +1,125 @@
+package netmodel
+
+import (
+	"testing"
+
+	"alltoallx/internal/topo"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	t.Parallel()
+	for _, m := range Machines() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestTable1Facts(t *testing.T) {
+	t.Parallel()
+	d := Dane()
+	if d.Node.CoresPerNode() != 112 {
+		t.Errorf("Dane cores/node = %d, want 112", d.Node.CoresPerNode())
+	}
+	if d.MPIName != "OpenMPI 4.1.2" || d.LibFabric != "2.2.0" {
+		t.Errorf("Dane software stack: %s / %s", d.MPIName, d.LibFabric)
+	}
+	a := Amber()
+	if a.Node.CoresPerNode() != 112 || a.MPIName != "OpenMPI 4.1.6" || a.LibFabric != "2.1.0" {
+		t.Errorf("Amber: %+v", a)
+	}
+	tu := Tuolomne()
+	if tu.Node.CoresPerNode() != 96 {
+		t.Errorf("Tuolomne cores/node = %d, want 96", tu.Node.CoresPerNode())
+	}
+	if tu.Network != "Slingshot-11" {
+		t.Errorf("Tuolomne network = %s", tu.Network)
+	}
+	// Model intent: Omni-Path is onload (expensive per message), Slingshot
+	// offload (cheap per message, double the bandwidth).
+	if !(d.NICMsgCost > 3*tu.NICMsgCost) {
+		t.Errorf("expected Dane per-message NIC cost >> Tuolomne: %g vs %g", d.NICMsgCost, tu.NICMsgCost)
+	}
+	if !(tu.NICBW > d.NICBW) {
+		t.Errorf("expected Slingshot bandwidth > Omni-Path: %g vs %g", tu.NICBW, d.NICBW)
+	}
+}
+
+func TestByName(t *testing.T) {
+	t.Parallel()
+	for _, name := range []string{"Dane", "Amber", "Tuolomne"} {
+		m, err := ByName(name)
+		if err != nil || m.Name != name {
+			t.Errorf("ByName(%s): %v, %v", name, m.Name, err)
+		}
+	}
+	if _, err := ByName("Frontier"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+}
+
+func TestLatencyByLevel(t *testing.T) {
+	t.Parallel()
+	m := Dane()
+	got := []float64{
+		m.Latency(topo.IntraNuma), m.Latency(topo.IntraSocket),
+		m.Latency(topo.InterSocket), m.Latency(topo.InterNode),
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Errorf("latency not increasing with level: %v", got)
+		}
+	}
+	if m.Latency(topo.Self) != 0 {
+		t.Errorf("self latency = %g", m.Latency(topo.Self))
+	}
+}
+
+func TestValidateCatchesBadParams(t *testing.T) {
+	t.Parallel()
+	mut := []func(*Params){
+		func(p *Params) { p.NICBW = 0 },
+		func(p *Params) { p.CopyBW = -1 },
+		func(p *Params) { p.LatInterNode = 0 },
+		func(p *Params) { p.MatchCost = -1 },
+		func(p *Params) { p.EagerMax = -5 },
+		func(p *Params) { p.NoiseSigma = -0.1 },
+		func(p *Params) { p.SpikeProb = 1.5 },
+		func(p *Params) { p.Sys.OverheadScale = 0 },
+		func(p *Params) { p.Node = topo.Spec{} },
+	}
+	for i, f := range mut {
+		m := Dane()
+		f(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestSysProfiles(t *testing.T) {
+	t.Parallel()
+	// Open MPI machines use the tuned three-tier decision (Bruck, linear
+	// nonblocking, pairwise); the Cray stack (Tuolomne) uses an
+	// aggregating path and a tuned factor < 1, matching Figure 18 where
+	// system MPI wins at large sizes.
+	for _, m := range []Params{Dane(), Amber()} {
+		s := m.Sys
+		if s.SmallAlgo != "bruck" || s.MidAlgo != "nonblocking" || s.LargeAlgo != "pairwise" {
+			t.Errorf("%s Open MPI profile: %+v", m.Name, s)
+		}
+		if !(s.SmallMax < s.MidMax) {
+			t.Errorf("%s thresholds: %+v", m.Name, s)
+		}
+	}
+	tu := Tuolomne()
+	if tu.Sys.LargeAlgo != "node-aware" || tu.Sys.OverheadScale >= 1 {
+		t.Errorf("Cray profile: %+v", tu.Sys)
+	}
+	bad := Dane()
+	bad.Sys.MidMax = 10
+	bad.Sys.SmallMax = 100
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-order thresholds accepted")
+	}
+}

@@ -1,0 +1,296 @@
+// Package runtime is a live, in-process message-passing runtime: the
+// repository's stand-in for an MPI library (the paper's substrate, which Go
+// lacks). Every rank is a goroutine; point-to-point messages are matched on
+// (communicator context, source, tag) with posted/unexpected queues, an
+// eager protocol for small messages and a rendezvous protocol for large
+// ones — the same structure real MPI implementations use and the structure
+// whose costs (matching, synchronization, buffering) the paper's algorithms
+// are designed around.
+//
+// The runtime is used for every correctness test and for wall-clock
+// micro-benchmarks on the machine at hand. Performance reproduction of the
+// paper's cluster-scale figures uses internal/sim instead; both implement
+// comm.Comm, so algorithms are written once.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"alltoallx/internal/comm"
+	"alltoallx/internal/topo"
+)
+
+// DefaultEagerMax is the default eager/rendezvous protocol switch point in
+// bytes. Messages at or below it are copied through an internal buffer so
+// the sender returns immediately; larger messages synchronize with the
+// receiver and are copied exactly once.
+const DefaultEagerMax = 1 << 13
+
+// Config configures a world of ranks.
+type Config struct {
+	// Ranks is the number of ranks. Required if Mapping is nil.
+	Ranks int
+	// Mapping optionally attaches a topology (nodes x ppn); when set it
+	// also defines Ranks = Mapping.Size().
+	Mapping *topo.Mapping
+	// EagerMax overrides the eager protocol threshold; 0 means
+	// DefaultEagerMax.
+	EagerMax int
+}
+
+// Run spawns one goroutine per rank, calls body with that rank's world
+// communicator, and waits for all ranks. It returns the joined errors of
+// every failing rank. A panicking rank is converted into an error so one
+// bad rank cannot take down the test process silently.
+func Run(cfg Config, body func(c comm.Comm) error) error {
+	w, err := newWorld(cfg)
+	if err != nil {
+		return err
+	}
+	n := w.size
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for r := 0; r < n; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("runtime: rank %d panicked: %v", rank, p)
+				}
+			}()
+			errs[rank] = body(w.comm(rank))
+		}(r)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// world is the shared state of one rank set.
+type world struct {
+	size     int
+	mapping  *topo.Mapping
+	eagerMax int
+	start    time.Time
+	ctx      atomic.Int64 // next communicator context id
+	boxes    []mailbox    // one per world rank
+	worldSh  *commShared
+}
+
+func newWorld(cfg Config) (*world, error) {
+	n := cfg.Ranks
+	if cfg.Mapping != nil {
+		if n != 0 && n != cfg.Mapping.Size() {
+			return nil, fmt.Errorf("runtime: Ranks %d conflicts with Mapping size %d", n, cfg.Mapping.Size())
+		}
+		n = cfg.Mapping.Size()
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("runtime: world needs at least 1 rank, got %d", n)
+	}
+	eager := cfg.EagerMax
+	if eager <= 0 {
+		eager = DefaultEagerMax
+	}
+	w := &world{size: n, mapping: cfg.Mapping, eagerMax: eager, start: time.Now()}
+	w.boxes = make([]mailbox, n)
+	for i := range w.boxes {
+		w.boxes[i].init()
+	}
+	ranks := make([]int, n)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	w.worldSh = newCommShared(w, w.ctx.Add(1), ranks)
+	return w, nil
+}
+
+func (w *world) comm(rank int) *Comm {
+	return &Comm{sh: w.worldSh, rank: rank}
+}
+
+// commShared is the per-communicator state shared by all its ranks.
+type commShared struct {
+	w      *world
+	id     int64 // context id: isolates matching across communicators
+	ranks  []int // comm rank -> world rank
+	bar    barrier
+	splits splitTable
+}
+
+func newCommShared(w *world, id int64, ranks []int) *commShared {
+	sh := &commShared{w: w, id: id, ranks: ranks}
+	sh.bar.init(len(ranks))
+	sh.splits.init()
+	return sh
+}
+
+// Comm is one rank's handle on a communicator. It implements comm.Comm.
+type Comm struct {
+	sh        *commShared
+	rank      int
+	splitSeq  int // per-rank collective call counter for Split matching
+	barrierHi int // unused counter kept for symmetry/debugging
+}
+
+var _ comm.Comm = (*Comm)(nil)
+
+// Rank returns this process's rank in the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return len(c.sh.ranks) }
+
+// Topo returns the world topology mapping for the world communicator, nil
+// for sub-communicators.
+func (c *Comm) Topo() *topo.Mapping {
+	if c.sh == c.sh.w.worldSh {
+		return c.sh.w.mapping
+	}
+	return nil
+}
+
+// Now returns seconds since the world started (monotonic wall clock).
+func (c *Comm) Now() float64 { return time.Since(c.sh.w.start).Seconds() }
+
+// Memcpy copies src to dst.
+func (c *Comm) Memcpy(dst, src comm.Buffer) error {
+	_, err := comm.CopyData(dst, src)
+	return err
+}
+
+// ChargeCopy is a no-op on the live runtime: real copies already cost real
+// time.
+func (c *Comm) ChargeCopy(bytes, blocks int) error {
+	if bytes < 0 || blocks < 0 {
+		return fmt.Errorf("runtime: ChargeCopy(%d, %d): negative argument", bytes, blocks)
+	}
+	return nil
+}
+
+// Send blocks until the message is buffered (eager) or received
+// (rendezvous).
+func (c *Comm) Send(b comm.Buffer, dst, tag int) error {
+	req, err := c.Isend(b, dst, tag)
+	if err != nil {
+		return err
+	}
+	return c.Wait(req)
+}
+
+// Recv blocks until a matching message has been copied into b.
+func (c *Comm) Recv(b comm.Buffer, src, tag int) error {
+	req, err := c.Irecv(b, src, tag)
+	if err != nil {
+		return err
+	}
+	return c.Wait(req)
+}
+
+// Isend starts a nonblocking send.
+func (c *Comm) Isend(b comm.Buffer, dst, tag int) (comm.Request, error) {
+	if err := comm.CheckPeer(dst, c.Size()); err != nil {
+		return nil, err
+	}
+	if err := comm.CheckTag(tag); err != nil {
+		return nil, err
+	}
+	wdst := c.sh.ranks[dst]
+	box := &c.sh.w.boxes[wdst]
+	if b.Len() <= c.sh.w.eagerMax {
+		// Eager: payload is copied out of the user buffer immediately, so
+		// the request completes as soon as the message is enqueued or
+		// matched.
+		var payload []byte
+		if !b.IsVirtual() {
+			payload = make([]byte, b.Len())
+			copy(payload, b.Bytes())
+		}
+		req := newRequest()
+		box.deliverEager(c.sh.id, c.rank, tag, b.Len(), payload)
+		req.complete(nil)
+		return req, nil
+	}
+	// Rendezvous: the request completes when the receiver has copied the
+	// payload straight out of the user buffer (single copy, synchronizing).
+	req := newRequest()
+	box.deliverRendezvous(c.sh.id, c.rank, tag, b, req)
+	return req, nil
+}
+
+// Irecv starts a nonblocking receive.
+func (c *Comm) Irecv(b comm.Buffer, src, tag int) (comm.Request, error) {
+	if err := comm.CheckPeer(src, c.Size()); err != nil {
+		return nil, err
+	}
+	if err := comm.CheckTag(tag); err != nil {
+		return nil, err
+	}
+	me := c.sh.ranks[c.rank]
+	box := &c.sh.w.boxes[me]
+	req := newRequest()
+	box.postRecv(c.sh.id, src, tag, b, req)
+	return req, nil
+}
+
+// Wait blocks until the request completes and returns its error.
+func (c *Comm) Wait(r comm.Request) error {
+	if r == nil {
+		return nil
+	}
+	req, ok := r.(*request)
+	if !ok {
+		return fmt.Errorf("runtime: foreign request type %T", r)
+	}
+	<-req.done
+	return req.err
+}
+
+// WaitAll blocks until all requests complete, returning their joined errors.
+func (c *Comm) WaitAll(rs []comm.Request) error {
+	var errs []error
+	for _, r := range rs {
+		if err := c.Wait(r); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Sendrecv posts the receive first, then sends, so that symmetric exchanges
+// (everyone calls Sendrecv at once, as pairwise exchange does) cannot
+// deadlock even in rendezvous mode.
+func (c *Comm) Sendrecv(sb comm.Buffer, dst, stag int, rb comm.Buffer, src, rtag int) error {
+	rreq, err := c.Irecv(rb, src, rtag)
+	if err != nil {
+		return err
+	}
+	if err := c.Send(sb, dst, stag); err != nil {
+		return err
+	}
+	return c.Wait(rreq)
+}
+
+// Barrier blocks until all ranks of the communicator have entered.
+func (c *Comm) Barrier() error {
+	c.sh.bar.await()
+	return nil
+}
+
+// Split partitions the communicator by color, ordering new ranks by
+// (key, parent rank). Ranks passing a negative color receive a nil
+// communicator (like MPI_UNDEFINED). Split is collective and must be called
+// in the same sequence by all parent ranks.
+func (c *Comm) Split(color, key int) (comm.Comm, error) {
+	seq := c.splitSeq
+	c.splitSeq++
+	res := c.sh.splits.gather(c.sh, seq, c.rank, color, key)
+	if res == nil {
+		return nil, nil
+	}
+	return &Comm{sh: res.sh, rank: res.rank}, nil
+}

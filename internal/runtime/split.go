@@ -1,0 +1,101 @@
+package runtime
+
+import (
+	"sort"
+	"sync"
+)
+
+// splitTable coordinates collective Split calls on one communicator. Each
+// rank's k-th Split call joins gathering slot k; the last rank to arrive
+// computes the partition and publishes per-rank results.
+type splitTable struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending map[int]*splitGather
+}
+
+type splitGather struct {
+	entries []splitEntry
+	results []*splitResult // indexed by parent rank; nil for negative color
+	ready   bool
+	readers int
+}
+
+type splitEntry struct {
+	rank, color, key int
+}
+
+type splitResult struct {
+	sh   *commShared
+	rank int
+}
+
+func (t *splitTable) init() {
+	t.cond = sync.NewCond(&t.mu)
+	t.pending = make(map[int]*splitGather)
+}
+
+// gather joins collective call seq on parent sh, blocking until the
+// partition for that call is computed. It returns nil when color < 0.
+func (t *splitTable) gather(sh *commShared, seq, rank, color, key int) *splitResult {
+	n := len(sh.ranks)
+	t.mu.Lock()
+	g := t.pending[seq]
+	if g == nil {
+		g = &splitGather{}
+		t.pending[seq] = g
+	}
+	g.entries = append(g.entries, splitEntry{rank: rank, color: color, key: key})
+	if len(g.entries) == n {
+		g.results = computeSplit(sh, g.entries)
+		g.ready = true
+		t.cond.Broadcast()
+	}
+	for !g.ready {
+		t.cond.Wait()
+	}
+	res := g.results[rank]
+	g.readers++
+	if g.readers == n {
+		delete(t.pending, seq)
+	}
+	t.mu.Unlock()
+	return res
+}
+
+// computeSplit partitions entries by color and orders each group by
+// (key, parent rank), mirroring MPI_Comm_split semantics.
+func computeSplit(sh *commShared, entries []splitEntry) []*splitResult {
+	n := len(sh.ranks)
+	results := make([]*splitResult, n)
+	byColor := make(map[int][]splitEntry)
+	for _, e := range entries {
+		if e.color < 0 {
+			continue
+		}
+		byColor[e.color] = append(byColor[e.color], e)
+	}
+	colors := make([]int, 0, len(byColor))
+	for c := range byColor {
+		colors = append(colors, c)
+	}
+	sort.Ints(colors) // deterministic context-id assignment order
+	for _, c := range colors {
+		group := byColor[c]
+		sort.Slice(group, func(i, j int) bool {
+			if group[i].key != group[j].key {
+				return group[i].key < group[j].key
+			}
+			return group[i].rank < group[j].rank
+		})
+		worldRanks := make([]int, len(group))
+		for i, e := range group {
+			worldRanks[i] = sh.ranks[e.rank]
+		}
+		newSh := newCommShared(sh.w, sh.w.ctx.Add(1), worldRanks)
+		for i, e := range group {
+			results[e.rank] = &splitResult{sh: newSh, rank: i}
+		}
+	}
+	return results
+}

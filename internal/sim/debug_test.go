@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"alltoallx/internal/comm"
+	"alltoallx/internal/netmodel"
+)
+
+// TestDebugPortGaps is a diagnostic, not a regression test. Run with
+// -run TestDebugPortGaps -v.
+func TestDebugPortGaps(t *testing.T) {
+	if os.Getenv("A2A_DEBUG_PORTS") == "" {
+		t.Skip("diagnostic; set A2A_DEBUG_PORTS=1")
+	}
+	m := netmodel.Dane()
+	type book struct{ ready, start, dur float64 }
+	perRes := make(map[*resource][]book)
+	debugReserveHook = func(r *resource, ready, start, dur float64) {
+		perRes[r] = append(perRes[r], book{ready, start, dur})
+	}
+	defer func() { debugReserveHook = nil }()
+	cfg := ClusterConfig{Model: m, Nodes: 8, PPN: 28, Seed: 1}
+	const block = 16384
+	_, err := RunClusterDebug(cfg, func(c comm.Comm) error {
+		n, r := c.Size(), c.Rank()
+		send := comm.Virtual(n * block)
+		recv := comm.Virtual(n * block)
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		var reqs []comm.Request
+		for i := 1; i < n; i++ {
+			sp := (r + i) % n
+			rp := (r - i + n) % n
+			rq, err := c.Irecv(recv.Slice(rp*block, block), rp, 1)
+			if err != nil {
+				return err
+			}
+			sq, err := c.Isend(send.Slice(sp*block, block), sp, 1)
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, rq, sq)
+			if r == 0 && i == 29 {
+				fmt.Printf("rank0 clock at post 29 (inter-node): %.6f\n", c.Now())
+			}
+		}
+		return c.WaitAll(reqs)
+	}, func(net *Network, final float64) {
+		out0 := perRes[&net.nicOut[0]]
+		var data []book
+		minReady := 1e9
+		for _, b := range out0 {
+			if b.dur > 1e-6 {
+				data = append(data, b)
+				if b.ready < minReady {
+					minReady = b.ready
+				}
+			}
+		}
+		fmt.Printf("nicOut[0]: %d data bookings, first-exec ready=%.6f, min ready=%.6f, makespan=%.6f\n",
+			len(data), data[0].ready, minReady, final)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

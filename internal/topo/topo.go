@@ -1,0 +1,168 @@
+// Package topo describes the node and rank topology of a many-core
+// machine: how many sockets, NUMA domains and cores a node has, how MPI-like
+// ranks are laid out across nodes, and the locality level (intra-NUMA,
+// intra-socket, inter-socket, inter-node) between any two ranks.
+//
+// The paper's systems are hierarchical: Sapphire Rapids nodes have 2 sockets
+// x 4 NUMA domains x 14 cores (112 cores/node); MI300A nodes have 96 cores.
+// Ranks are block-mapped: rank r lives on node r/ppn with local rank r%ppn,
+// and local ranks fill cores in order, which is how the paper launches jobs
+// ("none of the groups were explicitly mapped to regions of locality").
+package topo
+
+import "fmt"
+
+// Spec describes the shape of a single node.
+type Spec struct {
+	Sockets       int // CPU sockets per node
+	NumaPerSocket int // NUMA domains per socket
+	CoresPerNuma  int // cores per NUMA domain
+}
+
+// CoresPerNode returns the total core count of a node.
+func (s Spec) CoresPerNode() int { return s.Sockets * s.NumaPerSocket * s.CoresPerNuma }
+
+// CoresPerSocket returns the core count of one socket.
+func (s Spec) CoresPerSocket() int { return s.NumaPerSocket * s.CoresPerNuma }
+
+// NumaPerNode returns the total NUMA domain count of a node.
+func (s Spec) NumaPerNode() int { return s.Sockets * s.NumaPerSocket }
+
+// Validate reports whether the spec is usable.
+func (s Spec) Validate() error {
+	if s.Sockets <= 0 || s.NumaPerSocket <= 0 || s.CoresPerNuma <= 0 {
+		return fmt.Errorf("topo: invalid spec %+v: all fields must be positive", s)
+	}
+	return nil
+}
+
+func (s Spec) String() string {
+	return fmt.Sprintf("%d sockets x %d NUMA x %d cores (%d cores/node)",
+		s.Sockets, s.NumaPerSocket, s.CoresPerNuma, s.CoresPerNode())
+}
+
+// SapphireRapids is the node shape of LLNL Dane and SNL Amber:
+// 112 cores split across 2 sockets and 4 NUMA domains per socket
+// (14 cores per NUMA region), as described in the paper's introduction.
+func SapphireRapids() Spec { return Spec{Sockets: 2, NumaPerSocket: 4, CoresPerNuma: 14} }
+
+// MI300A is the node shape of LLNL Tuolomne: 96 cores across 4 APU dies,
+// modeled as 4 NUMA domains of 24 cores on a single socket package.
+func MI300A() Spec { return Spec{Sockets: 1, NumaPerSocket: 4, CoresPerNuma: 24} }
+
+// Level is the locality level between two ranks, ordered from closest to
+// farthest. Costs in the network model grow with the level.
+type Level int
+
+const (
+	// Self means the two ranks are the same rank.
+	Self Level = iota
+	// IntraNuma means same node, same socket, same NUMA domain.
+	IntraNuma
+	// IntraSocket means same node and socket, different NUMA domain.
+	IntraSocket
+	// InterSocket means same node, different socket.
+	InterSocket
+	// InterNode means different nodes.
+	InterNode
+)
+
+func (l Level) String() string {
+	switch l {
+	case Self:
+		return "self"
+	case IntraNuma:
+		return "intra-numa"
+	case IntraSocket:
+		return "intra-socket"
+	case InterSocket:
+		return "inter-socket"
+	case InterNode:
+		return "inter-node"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// Mapping is a block layout of ranks onto a machine: ppn consecutive ranks
+// per node, local ranks assigned to cores in order.
+type Mapping struct {
+	spec  Spec
+	nodes int
+	ppn   int
+}
+
+// NewMapping builds a mapping of nodes*ppn ranks. ppn must not exceed the
+// node's core count (the paper always uses all cores, but undersubscription
+// is allowed for tests).
+func NewMapping(spec Spec, nodes, ppn int) (*Mapping, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if nodes <= 0 {
+		return nil, fmt.Errorf("topo: nodes must be positive, got %d", nodes)
+	}
+	if ppn <= 0 || ppn > spec.CoresPerNode() {
+		return nil, fmt.Errorf("topo: ppn %d out of range 1..%d", ppn, spec.CoresPerNode())
+	}
+	return &Mapping{spec: spec, nodes: nodes, ppn: ppn}, nil
+}
+
+// Spec returns the node shape.
+func (m *Mapping) Spec() Spec { return m.spec }
+
+// Nodes returns the node count.
+func (m *Mapping) Nodes() int { return m.nodes }
+
+// PPN returns the ranks per node.
+func (m *Mapping) PPN() int { return m.ppn }
+
+// Size returns the total rank count.
+func (m *Mapping) Size() int { return m.nodes * m.ppn }
+
+// NodeOf returns the node index of a rank.
+func (m *Mapping) NodeOf(rank int) int { return rank / m.ppn }
+
+// LocalRank returns the on-node rank (0..ppn-1) of a rank.
+func (m *Mapping) LocalRank(rank int) int { return rank % m.ppn }
+
+// Rank returns the global rank for a (node, local) pair.
+func (m *Mapping) Rank(node, local int) int { return node*m.ppn + local }
+
+// CoreOf returns the core index a local rank is pinned to.
+func (m *Mapping) CoreOf(local int) int { return local }
+
+// NumaOf returns the node-wide NUMA index (0..NumaPerNode-1) of a local rank.
+func (m *Mapping) NumaOf(local int) int { return local / m.spec.CoresPerNuma }
+
+// SocketOf returns the socket index of a local rank.
+func (m *Mapping) SocketOf(local int) int { return local / m.spec.CoresPerSocket() }
+
+// LevelBetween returns the locality level between two global ranks.
+func (m *Mapping) LevelBetween(a, b int) Level {
+	if a == b {
+		return Self
+	}
+	if m.NodeOf(a) != m.NodeOf(b) {
+		return InterNode
+	}
+	la, lb := m.LocalRank(a), m.LocalRank(b)
+	if m.SocketOf(la) != m.SocketOf(lb) {
+		return InterSocket
+	}
+	if m.NumaOf(la) != m.NumaOf(lb) {
+		return IntraSocket
+	}
+	return IntraNuma
+}
+
+// Validate checks that rank is in range.
+func (m *Mapping) Validate(rank int) error {
+	if rank < 0 || rank >= m.Size() {
+		return fmt.Errorf("topo: rank %d out of range 0..%d", rank, m.Size()-1)
+	}
+	return nil
+}
+
+func (m *Mapping) String() string {
+	return fmt.Sprintf("%d nodes x %d ppn on %s", m.nodes, m.ppn, m.spec)
+}

@@ -1,0 +1,165 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSpecCounts(t *testing.T) {
+	t.Parallel()
+	sr := SapphireRapids()
+	if got := sr.CoresPerNode(); got != 112 {
+		t.Errorf("SapphireRapids cores/node = %d, want 112", got)
+	}
+	if got := sr.CoresPerSocket(); got != 56 {
+		t.Errorf("SapphireRapids cores/socket = %d, want 56", got)
+	}
+	if got := sr.NumaPerNode(); got != 8 {
+		t.Errorf("SapphireRapids NUMA/node = %d, want 8", got)
+	}
+	mi := MI300A()
+	if got := mi.CoresPerNode(); got != 96 {
+		t.Errorf("MI300A cores/node = %d, want 96", got)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	t.Parallel()
+	if err := SapphireRapids().Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	for _, s := range []Spec{{}, {Sockets: 1}, {Sockets: 1, NumaPerSocket: 1}, {Sockets: -1, NumaPerSocket: 1, CoresPerNuma: 1}} {
+		if err := s.Validate(); err == nil {
+			t.Errorf("invalid spec %+v accepted", s)
+		}
+	}
+}
+
+func TestNewMappingErrors(t *testing.T) {
+	t.Parallel()
+	spec := SapphireRapids()
+	if _, err := NewMapping(spec, 0, 112); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := NewMapping(spec, 2, 0); err == nil {
+		t.Error("zero ppn accepted")
+	}
+	if _, err := NewMapping(spec, 2, 113); err == nil {
+		t.Error("oversubscribed ppn accepted")
+	}
+	if _, err := NewMapping(Spec{}, 2, 4); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestMappingRoundTrip(t *testing.T) {
+	t.Parallel()
+	m, err := NewMapping(SapphireRapids(), 4, 112)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 448 {
+		t.Fatalf("Size = %d, want 448", m.Size())
+	}
+	// Property: Rank(NodeOf(r), LocalRank(r)) == r for all ranks.
+	f := func(raw uint16) bool {
+		r := int(raw) % m.Size()
+		return m.Rank(m.NodeOf(r), m.LocalRank(r)) == r && m.Validate(r) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if err := m.Validate(-1); err == nil {
+		t.Error("negative rank accepted")
+	}
+	if err := m.Validate(448); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+}
+
+func TestLocalityHierarchy(t *testing.T) {
+	t.Parallel()
+	m, err := NewMapping(SapphireRapids(), 2, 112)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		a, b int
+		want Level
+	}{
+		{0, 0, Self},
+		{0, 1, IntraNuma},    // cores 0,1 in NUMA 0
+		{0, 13, IntraNuma},   // both in NUMA 0 (14 cores per NUMA)
+		{0, 14, IntraSocket}, // NUMA 0 vs NUMA 1, socket 0
+		{0, 55, IntraSocket}, // last core of socket 0
+		{0, 56, InterSocket}, // first core of socket 1
+		{0, 111, InterSocket},
+		{0, 112, InterNode}, // first rank of node 1
+		{111, 223, InterNode},
+	}
+	for _, tc := range cases {
+		if got := m.LevelBetween(tc.a, tc.b); got != tc.want {
+			t.Errorf("LevelBetween(%d, %d) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		if got := m.LevelBetween(tc.b, tc.a); got != tc.want {
+			t.Errorf("LevelBetween(%d, %d) = %v, want %v (symmetry)", tc.b, tc.a, got, tc.want)
+		}
+	}
+}
+
+// TestLevelMonotoneProperty: the level between two ranks is Self iff equal,
+// InterNode iff nodes differ, and symmetric — for arbitrary shapes.
+func TestLevelMonotoneProperty(t *testing.T) {
+	t.Parallel()
+	f := func(sockets, numa, cores, nodes, a, b uint8) bool {
+		spec := Spec{Sockets: int(sockets%3) + 1, NumaPerSocket: int(numa%3) + 1, CoresPerNuma: int(cores%4) + 1}
+		m, err := NewMapping(spec, int(nodes%4)+1, spec.CoresPerNode())
+		if err != nil {
+			return false
+		}
+		ra, rb := int(a)%m.Size(), int(b)%m.Size()
+		l := m.LevelBetween(ra, rb)
+		if l != m.LevelBetween(rb, ra) {
+			return false
+		}
+		if (l == Self) != (ra == rb) {
+			return false
+		}
+		if (l == InterNode) != (m.NodeOf(ra) != m.NodeOf(rb)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	t.Parallel()
+	for l, want := range map[Level]string{
+		Self: "self", IntraNuma: "intra-numa", IntraSocket: "intra-socket",
+		InterSocket: "inter-socket", InterNode: "inter-node", Level(99): "Level(99)",
+	} {
+		if got := l.String(); got != want {
+			t.Errorf("Level(%d).String() = %q, want %q", int(l), got, want)
+		}
+	}
+}
+
+func TestStringFormatting(t *testing.T) {
+	t.Parallel()
+	m, err := NewMapping(MI300A(), 32, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.String() == "" || m.Spec().String() == "" {
+		t.Error("empty String()")
+	}
+	if m.PPN() != 96 || m.Nodes() != 32 {
+		t.Errorf("PPN/Nodes = %d/%d", m.PPN(), m.Nodes())
+	}
+	if m.CoreOf(5) != 5 {
+		t.Errorf("CoreOf(5) = %d", m.CoreOf(5))
+	}
+}
