@@ -25,7 +25,9 @@
 //
 // Performance studies run the same per-rank body under Simulate with a
 // Machine preset. The cmd/alltoallbench tool regenerates every table and
-// figure of the paper; see DESIGN.md and EXPERIMENTS.md.
+// figure of the paper, and cmd/a2atune precomputes per-size dispatch
+// tables for the "tuned" algorithm; see README.md for the architecture
+// map and the tune -> dispatch workflow.
 package alltoallx
 
 import (
@@ -103,9 +105,17 @@ const (
 	PhaseTotal   = trace.PhaseTotal
 )
 
+// Dispatch is the size-bucketed algorithm-selection spec the "tuned"
+// meta-algorithm executes (see internal/autotune for building one offline
+// and persisting it as JSON).
+type Dispatch = core.Dispatch
+
+// DispatchEntry is one size bucket of a Dispatch.
+type DispatchEntry = core.DispatchEntry
+
 // New constructs the named algorithm on c (collective call). Algorithm
 // names: pairwise, nonblocking, batched, bruck, hierarchical, multileader,
-// node-aware, locality-aware, multileader-node-aware, system-mpi.
+// node-aware, locality-aware, multileader-node-aware, system-mpi, tuned.
 func New(name string, c Comm, maxBlock int, o Options) (Alltoaller, error) {
 	return core.New(name, c, maxBlock, o)
 }

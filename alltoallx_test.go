@@ -13,7 +13,7 @@ import (
 func TestAlgorithmsList(t *testing.T) {
 	t.Parallel()
 	algos := alltoallx.Algorithms()
-	if len(algos) != 10 {
+	if len(algos) != 11 {
 		t.Fatalf("Algorithms() = %v", algos)
 	}
 }
@@ -70,8 +70,14 @@ func TestPublicLiveRoundTrip(t *testing.T) {
 		t.Run(algo, func(t *testing.T) {
 			t.Parallel()
 			opts := alltoallx.Options{PPL: 2, PPG: 2}
-			if algo == "system-mpi" {
+			switch algo {
+			case "system-mpi":
 				opts.Sys = alltoallx.Dane().Sys
+			case "tuned":
+				opts.Table = &alltoallx.Dispatch{Entries: []alltoallx.DispatchEntry{
+					{MaxBlock: 8, Algo: "bruck"},
+					{MaxBlock: block, Algo: "node-aware"},
+				}}
 			}
 			err := alltoallx.RunLive(alltoallx.LiveConfig{Mapping: mapping}, func(c alltoallx.Comm) error {
 				a, err := alltoallx.New(algo, c, block, opts)

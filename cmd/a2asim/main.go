@@ -2,9 +2,10 @@
 // prints its timing, phase breakdown and simulator statistics — the
 // single-point explorer behind the figures that cmd/alltoallbench sweeps.
 //
-// Example:
+// Examples:
 //
 //	go run ./cmd/a2asim -machine Dane -nodes 32 -algo multileader-node-aware -ppl 4 -block 4
+//	go run ./cmd/a2asim -table table.json -block 512
 package main
 
 import (
@@ -12,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"alltoallx/internal/autotune"
 	"alltoallx/internal/bench"
 	"alltoallx/internal/core"
 	"alltoallx/internal/netmodel"
@@ -20,39 +22,79 @@ import (
 
 func main() {
 	var (
-		machine = flag.String("machine", "Dane", "machine model: Dane, Amber, Tuolomne")
-		nodes   = flag.Int("nodes", 8, "node count")
-		ppn     = flag.Int("ppn", 0, "ranks per node (0 = all cores)")
-		algo    = flag.String("algo", "node-aware", "algorithm name")
-		inner   = flag.String("inner", "pairwise", "inner exchange: pairwise, nonblocking, bruck")
-		ppl     = flag.Int("ppl", 4, "processes per leader")
-		ppg     = flag.Int("ppg", 4, "processes per group")
-		block   = flag.Int("block", 4096, "bytes per rank pair")
-		runs    = flag.Int("runs", 3, "seeded runs (minimum reported)")
-		seed    = flag.Int64("seed", 0, "base noise seed")
+		machine   = flag.String("machine", "Dane", "machine model: Dane, Amber, Tuolomne")
+		nodes     = flag.Int("nodes", 8, "node count")
+		ppn       = flag.Int("ppn", 0, "ranks per node (0 = all cores)")
+		algo      = flag.String("algo", "node-aware", "algorithm name")
+		inner     = flag.String("inner", "pairwise", "inner exchange: pairwise, nonblocking, bruck")
+		ppl       = flag.Int("ppl", 4, "processes per leader")
+		ppg       = flag.Int("ppg", 4, "processes per group")
+		block     = flag.Int("block", 4096, "bytes per rank pair")
+		runs      = flag.Int("runs", 3, "seeded runs (minimum reported)")
+		seed      = flag.Int64("seed", 0, "base noise seed")
+		tablePath = flag.String("table", "", "autotune dispatch table (JSON); runs the tuned dispatcher at the table's world")
 	)
 	flag.Parse()
 
-	m, err := netmodel.ByName(*machine)
-	if err != nil {
-		fatal(err)
-	}
-	p := *ppn
-	if p == 0 {
-		p = m.Node.CoresPerNode()
+	var m netmodel.Params
+	var p int
+	opts := core.Options{Inner: core.Inner(*inner), PPL: *ppl, PPG: *ppg}
+	if *tablePath != "" {
+		// The table fully determines the run: machine, world shape,
+		// algorithm, and per-size options all come from it.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "machine", "nodes", "ppn":
+				fatal(fmt.Errorf("-%s does not apply with -table: the table carries its own world shape (retune with a2atune for another)", f.Name))
+			case "inner", "ppl", "ppg":
+				fatal(fmt.Errorf("-%s does not apply with -table: the table's per-size winners carry their own options", f.Name))
+			case "algo":
+				if *algo != "tuned" {
+					fatal(fmt.Errorf("-algo %s conflicts with -table (a table always runs the tuned dispatcher)", *algo))
+				}
+			}
+		})
+		table, err := autotune.Load(*tablePath)
+		if err != nil {
+			fatal(err)
+		}
+		m, err = netmodel.ByName(table.Machine)
+		if err != nil {
+			fatal(err)
+		}
+		*nodes, p = table.Nodes, table.PPN
+		*algo = "tuned"
+		opts = table.Options()
+	} else {
+		if *algo == "tuned" {
+			fatal(fmt.Errorf("-algo tuned requires -table (generate one with a2atune -o)"))
+		}
+		var err error
+		m, err = netmodel.ByName(*machine)
+		if err != nil {
+			fatal(err)
+		}
+		p = *ppn
+		if p == 0 {
+			p = m.Node.CoresPerNode()
+		}
 	}
 	cfg := bench.Config{
 		Machine: m, Nodes: *nodes, PPN: p,
 		Algo:  *algo,
-		Opts:  core.Options{Inner: core.Inner(*inner), PPL: *ppl, PPG: *ppg},
+		Opts:  opts,
 		Block: *block, Runs: *runs, BaseSeed: *seed,
 	}
 	pt, err := bench.Measure(cfg)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%s on %s: %d nodes x %d ranks, %d B/block (inner=%s ppl=%d ppg=%d)\n",
-		*algo, m.Name, *nodes, p, *block, *inner, *ppl, *ppg)
+	how := fmt.Sprintf("inner=%s ppl=%d ppg=%d", *inner, *ppl, *ppg)
+	if *tablePath != "" {
+		how = "dispatched from " + *tablePath
+	}
+	fmt.Printf("%s on %s: %d nodes x %d ranks, %d B/block (%s)\n",
+		*algo, m.Name, *nodes, p, *block, how)
 	fmt.Printf("  time      %.6e s (min of %d runs)\n", pt.Seconds, *runs)
 	for _, ph := range trace.SortedPhases(pt.Phases) {
 		fmt.Printf("  phase %-8s %.6e s\n", ph, pt.Phases[ph])

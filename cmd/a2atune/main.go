@@ -1,16 +1,22 @@
 // Command a2atune selects the best all-to-all algorithm for a machine,
 // scale and message-size range — the paper's future-work goal of dynamic
-// algorithm selection, driven by the machine model.
+// algorithm selection, driven by the machine model. With -o it persists
+// the per-size winners as a versioned JSON dispatch table that the
+// "tuned" algorithm (cmd/a2asim -table, cmd/alltoallbench -table, or
+// core.New in library use) dispatches from at run time.
 //
-// Example:
+// Examples:
 //
 //	go run ./cmd/a2atune -machine Dane -nodes 32 -ppn 112 -sizes 4,64,1024,4096
+//	go run ./cmd/a2atune -machine Dane -nodes 8 -ppn 16 -grid 4:65536 -o table.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"slices"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -24,8 +30,10 @@ func main() {
 		nodes   = flag.Int("nodes", 8, "node count")
 		ppn     = flag.Int("ppn", 0, "ranks per node (0 = all cores)")
 		sizes   = flag.String("sizes", "4,64,1024,4096", "comma-separated block sizes in bytes")
+		grid    = flag.String("grid", "", "doubling size grid min:max in bytes (overrides -sizes)")
 		runs    = flag.Int("runs", 2, "runs per candidate (minimum kept)")
 		full    = flag.Bool("ranking", false, "print the full ranking per size, not just the winner")
+		out     = flag.String("o", "", "write the winners as a JSON dispatch table to this path")
 	)
 	flag.Parse()
 
@@ -37,16 +45,17 @@ func main() {
 	if p == 0 {
 		p = m.Node.CoresPerNode()
 	}
-	var sz []int
-	for _, f := range strings.Split(*sizes, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil || v <= 0 {
-			fatal(fmt.Errorf("bad size %q", f))
-		}
-		sz = append(sz, v)
+	sz, err := sizeList(*sizes, *grid)
+	if err != nil {
+		fatal(err)
 	}
 	cands := autotune.DefaultCandidates(p)
-	fmt.Printf("tuning all-to-all on %s: %d nodes x %d ranks, %d candidates\n", m.Name, *nodes, p, len(cands))
+	fmt.Printf("tuning all-to-all on %s: %d nodes x %d ranks, %d candidates x %d sizes\n",
+		m.Name, *nodes, p, len(cands), len(sz))
+	// Assemble the table directly from the winners printed below, so each
+	// (candidate, size) point is simulated exactly once whether or not the
+	// table is written.
+	table := &autotune.Table{Version: autotune.TableVersion, Machine: m.Name, Nodes: *nodes, PPN: p}
 	for _, s := range sz {
 		best, ranking, err := autotune.Select(m, *nodes, p, s, cands, *runs, 1)
 		if err != nil {
@@ -58,7 +67,44 @@ func main() {
 				fmt.Printf("         %-30s %.4e s\n", ch.Name, ch.Seconds)
 			}
 		}
+		table.Entries = append(table.Entries, autotune.EntryFor(s, best))
 	}
+	if *out == "" {
+		return
+	}
+	if err := table.Save(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote dispatch table (version %d, %d entries) to %s\n",
+		table.Version, len(table.Entries), *out)
+}
+
+// sizeList resolves the swept sizes: an explicit -sizes list, or a
+// doubling -grid min:max.
+func sizeList(sizes, grid string) ([]int, error) {
+	if grid != "" {
+		lo, hi, ok := strings.Cut(grid, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad grid %q (want min:max)", grid)
+		}
+		min, err1 := strconv.Atoi(strings.TrimSpace(lo))
+		max, err2 := strconv.Atoi(strings.TrimSpace(hi))
+		if err1 != nil || err2 != nil || min <= 0 || max < min {
+			return nil, fmt.Errorf("bad grid %q (want 0 < min <= max)", grid)
+		}
+		return autotune.SizeGrid(min, max), nil
+	}
+	var sz []int
+	for _, f := range strings.Split(sizes, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad size %q", f)
+		}
+		sz = append(sz, v)
+	}
+	// Sweep (and table) order is ascending; duplicates collapse.
+	sort.Ints(sz)
+	return slices.Compact(sz), nil
 }
 
 func fatal(err error) {

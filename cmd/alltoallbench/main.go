@@ -11,6 +11,13 @@
 //
 //	go run ./cmd/alltoallbench -experiment fig10
 //	go run ./cmd/alltoallbench -experiment all -scale full -csv results/
+//
+// With -table, instead of a paper figure it benchmarks the autotuned
+// "tuned" dispatcher (built from the table written by a2atune -o) against
+// static algorithms, at the table's world shape and over the table's size
+// grid:
+//
+//	go run ./cmd/alltoallbench -table table.json -algo tuned,bruck,system-mpi
 package main
 
 import (
@@ -20,7 +27,9 @@ import (
 	"path/filepath"
 	"strings"
 
+	"alltoallx/internal/autotune"
 	"alltoallx/internal/bench"
+	"alltoallx/internal/netmodel"
 )
 
 func main() {
@@ -33,6 +42,9 @@ func main() {
 		csvDir     = flag.String("csv", "", "directory for CSV output (empty = none)")
 		plot       = flag.Bool("plot", false, "render an ASCII log-scale chart of each figure")
 		verbose    = flag.Bool("v", false, "print per-point progress")
+		tablePath  = flag.String("table", "", "autotune dispatch table (JSON): benchmark it instead of a figure")
+		algoList   = flag.String("algo", "tuned,bruck,node-aware,multileader-node-aware,system-mpi",
+			"with -table: comma-separated algorithms to compare (tuned = the table's dispatcher)")
 	)
 	flag.Parse()
 
@@ -49,6 +61,28 @@ func main() {
 	var progress func(string)
 	if *verbose {
 		progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
+	}
+
+	if *tablePath == "" {
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "algo" {
+				fatal(fmt.Errorf("-algo only applies with -table (figures fix their own algorithm series)"))
+			}
+		})
+	}
+	if *tablePath != "" {
+		if *nodes != 0 || *ppn != 0 {
+			fatal(fmt.Errorf("-table runs at the table's own world shape; -nodes/-ppn do not apply (retune with a2atune for a different world)"))
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "experiment" {
+				fatal(fmt.Errorf("-experiment and -table are mutually exclusive (a table benchmark is its own experiment)"))
+			}
+		})
+		if err := runTable(*tablePath, *algoList, scale, *csvDir, *plot, progress); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	ids := strings.Split(*experiment, ",")
@@ -94,6 +128,65 @@ func runOne(id string, scale bench.Scale, nodeOverride int, csvDir string, plot 
 	if err != nil {
 		return err
 	}
+	return emit(t, csvDir, plot)
+}
+
+// runTable benchmarks the tuned dispatcher of an a2atune table against
+// static algorithms. The sweep runs at the table's world shape (machine,
+// nodes, ppn) over the table's size grid; -scale only sets repetitions.
+func runTable(path, algoList string, scale bench.Scale, csvDir string, plot bool, progress func(string)) error {
+	table, err := autotune.Load(path)
+	if err != nil {
+		return err
+	}
+	// Fail before the sweep if the current machine model cannot host the
+	// tuned world (RunExperiment would silently clamp ppn to the model's
+	// core count).
+	machine, err := netmodel.ByName(table.Machine)
+	if err != nil {
+		return err
+	}
+	if cores := machine.Node.CoresPerNode(); table.PPN > cores {
+		return fmt.Errorf("table tuned for %d ranks/node, %s nodes have %d cores", table.PPN, table.Machine, cores)
+	}
+	exp := bench.Experiment{
+		ID:      "tuned",
+		Title:   fmt.Sprintf("Tuned dispatcher (%s) vs static algorithms", filepath.Base(path)),
+		Machine: table.Machine,
+		XAxis:   bench.XSize,
+		Nodes:   table.Nodes,
+		Expectation: "the tuned line tracks the lower envelope of the static lines " +
+			"(equal to the per-size winner, modulo simulation noise)",
+	}
+	for _, e := range table.Entries {
+		exp.Xs = append(exp.Xs, e.Size)
+	}
+	for _, name := range strings.Split(algoList, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		s := bench.Series{Label: name, Algo: name}
+		if name == "tuned" {
+			s.Opts = table.Options()
+		}
+		exp.Series = append(exp.Series, s)
+	}
+	if len(exp.Series) == 0 {
+		return fmt.Errorf("no algorithms in -algo %q", algoList)
+	}
+	// Pin the sweep to the tuned world: the table's winners are only valid
+	// at the shape they were tuned for.
+	scale.NodeCap, scale.PPN, scale.SizeStride = 0, table.PPN, 1
+	t, err := bench.RunExperiment(exp, scale, progress)
+	if err != nil {
+		return err
+	}
+	return emit(t, csvDir, plot)
+}
+
+// emit prints a completed table and optionally plots and CSV-dumps it.
+func emit(t *bench.Table, csvDir string, plot bool) error {
 	if err := t.Format(os.Stdout); err != nil {
 		return err
 	}
@@ -106,7 +199,7 @@ func runOne(id string, scale bench.Scale, nodeOverride int, csvDir string, plot 
 		if err := os.MkdirAll(csvDir, 0o755); err != nil {
 			return err
 		}
-		path := filepath.Join(csvDir, exp.ID+"_"+scale.Name+".csv")
+		path := filepath.Join(csvDir, t.Exp.ID+"_"+t.Scale.Name+".csv")
 		f, err := os.Create(path)
 		if err != nil {
 			return err

@@ -1,18 +1,27 @@
 // Dynamic algorithm selection — the paper's future-work direction of
 // picking the optimal all-to-all "for a given computer, system MPI,
-// process count, and data size". The machine model evaluates every
-// candidate per message size and bakes the winners into a dispatch table.
+// process count, and data size" — as a full produce -> persist -> dispatch
+// cycle. The machine model evaluates every candidate per message size and
+// bakes the winners into a dispatch table (offline tuning); the table is
+// saved to JSON and loaded back (what cmd/a2atune -o and a deployed job
+// do on opposite sides of a filesystem); finally a simulated cluster
+// constructs the "tuned" meta-algorithm from the loaded table and
+// dispatches each block size to its tabled winner.
 //
-//	go run ./examples/autotune [-machine Dane] [-nodes 8] [-ppn 16]
+//	go run ./examples/autotune [-machine Dane] [-nodes 8] [-ppn 16] [-o table.json]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"alltoallx/internal/autotune"
+	"alltoallx/internal/comm"
+	"alltoallx/internal/core"
 	"alltoallx/internal/netmodel"
+	"alltoallx/internal/sim"
 )
 
 func main() {
@@ -20,28 +29,93 @@ func main() {
 		machine = flag.String("machine", "Dane", "machine model")
 		nodes   = flag.Int("nodes", 8, "node count")
 		ppn     = flag.Int("ppn", 16, "ranks per node")
+		out     = flag.String("o", "", "table path (empty = a temp file, removed on exit)")
 	)
 	flag.Parse()
+	// run, not main, owns the logic: log.Fatal would skip the deferred
+	// temp-file cleanup.
+	if err := run(*machine, *nodes, *ppn, *out); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	m, err := netmodel.ByName(*machine)
+func run(machineName string, nodes, ppn int, out string) error {
+	m, err := netmodel.ByName(machineName)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	sizes := []int{4, 64, 1024, 4096}
-	cands := autotune.DefaultCandidates(*ppn)
-	fmt.Printf("selecting best all-to-all on %s (%d nodes x %d ranks) from %d candidates...\n",
-		m.Name, *nodes, *ppn, len(cands))
-	table, err := autotune.BuildTable(m, *nodes, *ppn, sizes, cands, 2, 1)
+
+	// 1. Produce: rank every candidate at every size on the machine model.
+	sizes := autotune.SizeGrid(4, 4096)
+	cands := autotune.DefaultCandidates(ppn)
+	fmt.Printf("tuning all-to-all on %s (%d nodes x %d ranks): %d candidates x %d sizes...\n",
+		m.Name, nodes, ppn, len(cands), len(sizes))
+	table, err := autotune.BuildTable(m, nodes, ppn, sizes, cands, 2, 1)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("\ndispatch table:")
-	for i, s := range table.Sizes {
-		c := table.Best[i]
-		fmt.Printf("  <= %5d B : %-28s (predicted %.3e s)\n", s, c.Name, c.Seconds)
+
+	// 2. Persist: save the table, then load it back as a deployed job would.
+	path := out
+	if path == "" {
+		f, err := os.CreateTemp("", "a2a-table-*.json")
+		if err != nil {
+			return err
+		}
+		f.Close()
+		path = f.Name()
+		defer os.Remove(path)
 	}
-	for _, probe := range []int{16, 512, 1 << 15} {
-		c := table.Pick(probe)
-		fmt.Printf("Pick(%d B) -> %s\n", probe, c.Name)
+	if err := table.Save(path); err != nil {
+		return err
 	}
+	loaded, err := autotune.Load(path)
+	if err != nil {
+		return err
+	}
+	if err := loaded.CheckWorld(m.Name, nodes, ppn); err != nil {
+		return err
+	}
+	fmt.Printf("\ndispatch table (version %d, saved to %s):\n", loaded.Version, path)
+	for _, e := range loaded.Entries {
+		fmt.Printf("  <= %5d B : %-28s (predicted %.3e s)\n", e.Size, e.Name, e.Seconds)
+	}
+
+	// 3. Dispatch: a simulated cluster runs the "tuned" meta-algorithm
+	// built from the loaded table; each exchange goes to the tabled winner.
+	fmt.Println("\ndispatching on a simulated cluster:")
+	probes := []int{16, 512, 4096}
+	picked := make([]string, len(probes))
+	timed := make([]float64, len(probes))
+	cfg := sim.ClusterConfig{Model: m, Nodes: nodes, PPN: ppn, Seed: 1}
+	_, err = sim.RunCluster(cfg, func(c comm.Comm) error {
+		a, err := core.New("tuned", c, probes[len(probes)-1], loaded.Options())
+		if err != nil {
+			return err
+		}
+		for i, block := range probes {
+			send := comm.Virtual(c.Size() * block)
+			recv := comm.Virtual(c.Size() * block)
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			t0 := c.Now()
+			if err := a.Alltoall(send, recv, block); err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				timed[i] = c.Now() - t0
+				picked[i] = a.(interface{ Picked() string }).Picked()
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, block := range probes {
+		fmt.Printf("  %5d B -> %-28s %.3e s (table predicted %s)\n",
+			block, picked[i], timed[i], loaded.Pick(block).Name)
+	}
+	return nil
 }

@@ -1,0 +1,3 @@
+module alltoallx
+
+go 1.23

@@ -2,8 +2,14 @@
 // dynamically selecting the optimal all-to-all algorithm "for a given
 // computer, system MPI, process count, and data size". Selection is
 // model-driven: candidates are evaluated on the discrete-event machine
-// model (no cluster time needed), and the per-size winners can be baked
-// into a lookup table for dispatch at run time.
+// model (no cluster time needed), and the per-size winners are baked into
+// a persistent dispatch Table. The full loop is
+//
+//	BuildTable -> Table.Save            (offline, cmd/a2atune -o)
+//	Load -> Table.Options -> core.New("tuned", ...)   (run time)
+//
+// so a machine is tuned once and every subsequent run dispatches each
+// message size to its precomputed winner.
 package autotune
 
 import (
@@ -24,7 +30,9 @@ type Candidate struct {
 	Opts core.Options
 }
 
-func (c Candidate) label() string {
+// Label returns the candidate's display name: Name, or Algo when unnamed.
+// It is also the Entry.Name a tabled winner is recorded under.
+func (c Candidate) Label() string {
 	if c.Name != "" {
 		return c.Name
 	}
@@ -72,7 +80,7 @@ func Select(m netmodel.Params, nodes, ppn, block int, cands []Candidate, runs in
 			Runs: runs, BaseSeed: seed,
 		})
 		if err != nil {
-			return Choice{}, nil, fmt.Errorf("autotune: candidate %s: %w", cand.label(), err)
+			return Choice{}, nil, fmt.Errorf("autotune: candidate %s: %w", cand.Label(), err)
 		}
 		ranking = append(ranking, Choice{Candidate: cand, Seconds: pt.Seconds})
 	}
@@ -80,42 +88,24 @@ func Select(m netmodel.Params, nodes, ppn, block int, cands []Candidate, runs in
 	return ranking[0], ranking, nil
 }
 
-// Table is a size-indexed dispatch table of winners for one (machine,
-// nodes, ppn) configuration.
-type Table struct {
-	Machine string
-	Nodes   int
-	PPN     int
-	Sizes   []int // ascending
-	Best    []Choice
-}
-
-// BuildTable selects the winner at every size.
+// BuildTable selects the winner at every size and assembles the results
+// into a persistable dispatch Table for the (machine, nodes, ppn) world.
 func BuildTable(m netmodel.Params, nodes, ppn int, sizes []int, cands []Candidate, runs int, seed int64) (*Table, error) {
 	if len(sizes) == 0 {
 		return nil, fmt.Errorf("autotune: no sizes")
 	}
 	sorted := append([]int(nil), sizes...)
 	sort.Ints(sorted)
-	t := &Table{Machine: m.Name, Nodes: nodes, PPN: ppn, Sizes: sorted}
-	for _, s := range sorted {
+	t := &Table{Version: TableVersion, Machine: m.Name, Nodes: nodes, PPN: ppn}
+	for i, s := range sorted {
+		if s <= 0 || (i > 0 && s == sorted[i-1]) {
+			return nil, fmt.Errorf("autotune: sizes must be positive and distinct, got %v", sizes)
+		}
 		best, _, err := Select(m, nodes, ppn, s, cands, runs, seed)
 		if err != nil {
 			return nil, err
 		}
-		t.Best = append(t.Best, best)
+		t.Entries = append(t.Entries, EntryFor(s, best))
 	}
 	return t, nil
-}
-
-// Pick returns the tabled winner for a block size: the entry of the
-// smallest tabled size >= block, or the largest entry when block exceeds
-// the table.
-func (t *Table) Pick(block int) Choice {
-	for i, s := range t.Sizes {
-		if block <= s {
-			return t.Best[i]
-		}
-	}
-	return t.Best[len(t.Best)-1]
 }

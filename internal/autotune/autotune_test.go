@@ -24,7 +24,7 @@ func TestDefaultCandidates(t *testing.T) {
 	cands8 := DefaultCandidates(8)
 	for _, c := range cands8 {
 		if c.Opts.PPL > 8 || c.Opts.PPG > 8 {
-			t.Errorf("candidate %s exceeds ppn", c.label())
+			t.Errorf("candidate %s exceeds ppn", c.Label())
 		}
 	}
 }
@@ -80,23 +80,29 @@ func TestBuildTableAndPick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tbl.Sizes) != 2 || tbl.Sizes[0] != 16 || tbl.Sizes[1] != 1024 {
-		t.Fatalf("sizes not sorted: %v", tbl.Sizes)
+	if err := tbl.Validate(); err != nil {
+		t.Fatalf("built table invalid: %v", err)
+	}
+	if len(tbl.Entries) != 2 || tbl.Entries[0].Size != 16 || tbl.Entries[1].Size != 1024 {
+		t.Fatalf("sizes not sorted: %+v", tbl.Entries)
 	}
 	// Pick boundaries: below, between, above.
-	if got := tbl.Pick(4); got.label() != tbl.Best[0].label() {
+	if got := tbl.Pick(4); got.Name != tbl.Entries[0].Name {
 		t.Errorf("Pick(4) = %v", got.Name)
 	}
-	if got := tbl.Pick(16); got.label() != tbl.Best[0].label() {
+	if got := tbl.Pick(16); got.Name != tbl.Entries[0].Name {
 		t.Errorf("Pick(16) = %v", got.Name)
 	}
-	if got := tbl.Pick(500); got.label() != tbl.Best[1].label() {
+	if got := tbl.Pick(500); got.Name != tbl.Entries[1].Name {
 		t.Errorf("Pick(500) = %v", got.Name)
 	}
-	if got := tbl.Pick(1 << 20); got.label() != tbl.Best[1].label() {
+	if got := tbl.Pick(1 << 20); got.Name != tbl.Entries[1].Name {
 		t.Errorf("Pick(big) = %v", got.Name)
 	}
 	if _, err := BuildTable(m, 4, 8, nil, cands, 1, 1); err == nil {
 		t.Error("empty sizes accepted")
+	}
+	if _, err := BuildTable(m, 4, 8, []int{16, 16}, cands, 1, 1); err == nil {
+		t.Error("duplicate sizes accepted")
 	}
 }

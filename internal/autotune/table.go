@@ -1,0 +1,204 @@
+package autotune
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"alltoallx/internal/core"
+)
+
+// TableVersion is the on-disk format version Save writes and Load accepts.
+// Bump it on incompatible changes to Table or core.Options serialization;
+// Load rejects other versions rather than silently dispatching on stale
+// winners.
+const TableVersion = 1
+
+// Entry is one row of a Table: the candidate that won blocks of at most
+// Size bytes, and its predicted time at that size.
+type Entry struct {
+	// Size is the upper edge of this bucket in bytes per rank pair.
+	Size int `json:"size"`
+	// Name is the winning candidate's label (e.g. "multileader/4ppl").
+	Name string `json:"name"`
+	// Algo and Opts reconstruct the winner via core.New.
+	Algo string       `json:"algo"`
+	Opts core.Options `json:"opts"`
+	// Seconds is the machine model's prediction at Size.
+	Seconds float64 `json:"seconds"`
+}
+
+// EntryFor records a selection winner as the table row for blocks of at
+// most size bytes — the single construction site for entries, shared by
+// BuildTable and callers that assemble tables from their own Select loop.
+func EntryFor(size int, best Choice) Entry {
+	return Entry{Size: size, Name: best.Label(), Algo: best.Algo, Opts: best.Opts, Seconds: best.Seconds}
+}
+
+// Table is a persistent, size-indexed dispatch table of autotuned winners
+// for one (machine, nodes, ppn) world. BuildTable produces it offline from
+// the machine model; Save/Load round-trip it as versioned JSON; Dispatch
+// converts it into the spec the run-time "tuned" algorithm (core.New)
+// executes. A table is only meaningful for the world shape it was tuned
+// for — Load validates internal consistency and CheckWorld rejects a
+// mismatched deployment.
+type Table struct {
+	Version int    `json:"version"`
+	Machine string `json:"machine"`
+	Nodes   int    `json:"nodes"`
+	PPN     int    `json:"ppn"`
+	// Entries are the per-size winners, ascending in Size.
+	Entries []Entry `json:"entries"`
+}
+
+// Validate checks version and internal consistency: a known version, a
+// positive world shape, and at least one entry with strictly ascending
+// positive sizes and constructible algorithms.
+func (t *Table) Validate() error {
+	if t.Version != TableVersion {
+		return fmt.Errorf("autotune: table version %d, this build reads version %d — regenerate with a2atune", t.Version, TableVersion)
+	}
+	if t.Machine == "" {
+		return fmt.Errorf("autotune: table has no machine name")
+	}
+	if t.Nodes <= 0 || t.PPN <= 0 {
+		return fmt.Errorf("autotune: table world %d nodes x %d ppn invalid", t.Nodes, t.PPN)
+	}
+	if len(t.Entries) == 0 {
+		return fmt.Errorf("autotune: table has no entries")
+	}
+	// Bucket-level invariants (ascending sizes, known algorithms) are
+	// owned by the dispatch spec the entries convert to.
+	return t.Dispatch().Validate()
+}
+
+// CheckWorld reports whether the table was tuned for the given world: the
+// same machine model, node count, and ranks per node. Winners tuned on one
+// shape are not transferable (the paper's Section 5 selection is per
+// "computer, system MPI, process count"), so dispatching from a mismatched
+// table is an error, not a fallback.
+func (t *Table) CheckWorld(machine string, nodes, ppn int) error {
+	if t.Machine != machine || t.Nodes != nodes || t.PPN != ppn {
+		return fmt.Errorf("autotune: table tuned for %s %d nodes x %d ppn, world is %s %d nodes x %d ppn",
+			t.Machine, t.Nodes, t.PPN, machine, nodes, ppn)
+	}
+	return nil
+}
+
+// Pick returns the tabled winner for a block size: the entry of the
+// smallest tabled size >= block, or the largest entry when block exceeds
+// the table.
+func (t *Table) Pick(block int) Entry {
+	for _, e := range t.Entries {
+		if block <= e.Size {
+			return e
+		}
+	}
+	return t.Entries[len(t.Entries)-1]
+}
+
+// Dispatch converts the table into the run-time spec core's "tuned"
+// algorithm executes: pass it via core.Options.Table (or use Options).
+func (t *Table) Dispatch() *core.Dispatch {
+	d := &core.Dispatch{Entries: make([]core.DispatchEntry, len(t.Entries))}
+	for i, e := range t.Entries {
+		d.Entries[i] = core.DispatchEntry{MaxBlock: e.Size, Name: e.Name, Algo: e.Algo, Opts: e.Opts}
+	}
+	return d
+}
+
+// Options returns construction options for the "tuned" algorithm backed by
+// this table: core.New("tuned", c, maxBlock, t.Options()).
+func (t *Table) Options() core.Options {
+	return core.Options{Table: t.Dispatch()}
+}
+
+// Encode writes the table as versioned, indented JSON.
+func (t *Table) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// Decode reads one table from r. It validates before returning, so a
+// successful Decode yields a dispatchable table.
+func Decode(r io.Reader) (*Table, error) {
+	var t Table
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("autotune: decoding table: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// Save writes the table to path (atomically: temp file + rename, so a
+// concurrent reader never sees a torn table).
+func (t *Table) Save(path string) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(filepath.Dir(path), ".a2atable-*")
+	if err != nil {
+		return fmt.Errorf("autotune: saving table: %w", err)
+	}
+	tmp := f.Name()
+	if err := t.Encode(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("autotune: saving table: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("autotune: saving table: %w", err)
+	}
+	// CreateTemp's restrictive 0600 would survive the rename; tables are
+	// meant to be produced once and read by any job.
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("autotune: saving table: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("autotune: saving table: %w", err)
+	}
+	return nil
+}
+
+// Load reads and validates the table at path.
+func Load(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("autotune: loading table: %w", err)
+	}
+	defer f.Close()
+	t, err := Decode(f)
+	if err != nil {
+		// Decode's errors already carry the package prefix; add the path.
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// SizeGrid returns the doubling message-size grid [min, 2min, 4min, ...]
+// up to and including max (max is appended if the doubling sequence does
+// not land on it), the sweep a2atune tunes over by default.
+func SizeGrid(min, max int) []int {
+	if min <= 0 || max < min {
+		return nil
+	}
+	var out []int
+	for s := min; ; s *= 2 {
+		out = append(out, s)
+		if s > max/2 { // next double would exceed max (or overflow)
+			break
+		}
+	}
+	if last := out[len(out)-1]; last != max {
+		out = append(out, max)
+	}
+	return out
+}

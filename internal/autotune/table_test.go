@@ -1,0 +1,217 @@
+package autotune
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"alltoallx/internal/comm"
+	"alltoallx/internal/core"
+	"alltoallx/internal/sim"
+)
+
+// buildTestTable tunes a small world with two candidates; tests share it
+// via the bench layer's measurement cache, so repeated builds are cheap.
+func buildTestTable(t *testing.T, sizes []int) *Table {
+	t.Helper()
+	cands := []Candidate{
+		{Name: "node-aware", Algo: "node-aware"},
+		{Name: "mlna", Algo: "multileader-node-aware", Opts: core.Options{PPL: 2}},
+	}
+	tbl, err := BuildTable(tinyDane(), 4, 8, sizes, cands, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestTableSaveLoadRoundTrip(t *testing.T) {
+	t.Parallel()
+	tbl := buildTestTable(t, []int{16, 1024})
+	path := filepath.Join(t.TempDir(), "table.json")
+	if err := tbl.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tbl, loaded) {
+		t.Errorf("round trip changed the table:\nsaved  %+v\nloaded %+v", tbl, loaded)
+	}
+	// A loaded table must be immediately dispatchable.
+	if err := loaded.Dispatch().Validate(); err != nil {
+		t.Errorf("loaded table not dispatchable: %v", err)
+	}
+}
+
+func TestTableLoadRejects(t *testing.T) {
+	t.Parallel()
+	tbl := buildTestTable(t, []int{16, 1024})
+	dir := t.TempDir()
+
+	save := func(name string, mutate func(*Table)) string {
+		t.Helper()
+		c := *tbl
+		c.Entries = append([]Entry(nil), tbl.Entries...)
+		mutate(&c)
+		path := filepath.Join(dir, name)
+		// Bypass Save's own validation: encode directly.
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Encode(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Table)
+		want   string
+	}{
+		{"version.json", func(c *Table) { c.Version = TableVersion + 1 }, "version"},
+		{"nomachine.json", func(c *Table) { c.Machine = "" }, "machine"},
+		{"badworld.json", func(c *Table) { c.Nodes = 0 }, "invalid"},
+		{"empty.json", func(c *Table) { c.Entries = nil }, "no entries"},
+		{"unsorted.json", func(c *Table) {
+			c.Entries[0], c.Entries[1] = c.Entries[1], c.Entries[0]
+		}, "ascending"},
+		{"badalgo.json", func(c *Table) { c.Entries[0].Algo = "no-such" }, "unknown algorithm"},
+	}
+	for _, tc := range cases {
+		path := save(tc.name, tc.mutate)
+		_, err := Load(path)
+		if err == nil {
+			t.Errorf("%s: corrupted table accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+
+	if _, err := Load(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	garbled := filepath.Join(dir, "garbage.json")
+	if err := os.WriteFile(garbled, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(garbled); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestTableCheckWorld(t *testing.T) {
+	t.Parallel()
+	tbl := buildTestTable(t, []int{64})
+	if err := tbl.CheckWorld("Dane", 4, 8); err != nil {
+		t.Errorf("matching world rejected: %v", err)
+	}
+	for _, w := range []struct {
+		machine    string
+		nodes, ppn int
+	}{
+		{"Amber", 4, 8}, {"Dane", 8, 8}, {"Dane", 4, 16},
+	} {
+		if err := tbl.CheckWorld(w.machine, w.nodes, w.ppn); err == nil {
+			t.Errorf("world %v accepted", w)
+		}
+	}
+}
+
+// TestTunedDispatchMatchesRanking closes the autotuning loop: for every
+// tabled size, the "tuned" dispatcher constructed from the persisted
+// table must hand the exchange to the candidate the autotuner ranked
+// first at that size.
+func TestTunedDispatchMatchesRanking(t *testing.T) {
+	t.Parallel()
+	m := tinyDane()
+	const nodes, ppn = 4, 8
+	cands := []Candidate{
+		{Name: "node-aware", Algo: "node-aware"},
+		{Name: "mlna", Algo: "multileader-node-aware", Opts: core.Options{PPL: 2}},
+		{Name: "bruck", Algo: "bruck"},
+	}
+	sizes := []int{8, 128, 2048}
+	tbl, err := BuildTable(m, nodes, ppn, sizes, cands, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip through disk so the test covers the persisted form.
+	path := filepath.Join(t.TempDir(), "table.json")
+	if err := tbl.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, s := range sizes {
+		want, _, err := Select(m, nodes, ppn, s, cands, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var picked string
+		cfg := sim.ClusterConfig{Model: m, Nodes: nodes, PPN: ppn, Seed: 1}
+		_, err = sim.RunCluster(cfg, func(c comm.Comm) error {
+			a, err := core.New("tuned", c, s, loaded.Options())
+			if err != nil {
+				return err
+			}
+			send := comm.Virtual(c.Size() * s)
+			recv := comm.Virtual(c.Size() * s)
+			if err := a.Alltoall(send, recv, s); err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				picked = a.(interface{ Picked() string }).Picked()
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if picked != want.Label() {
+			t.Errorf("size %d: dispatcher picked %q, autotuner ranked %q first", s, picked, want.Label())
+		}
+		if got := loaded.Pick(s); got.Name != want.Label() {
+			t.Errorf("size %d: table entry %q, autotuner ranked %q first", s, got.Name, want.Label())
+		}
+	}
+}
+
+func TestSizeGrid(t *testing.T) {
+	t.Parallel()
+	if got := SizeGrid(4, 64); !reflect.DeepEqual(got, []int{4, 8, 16, 32, 64}) {
+		t.Errorf("SizeGrid(4, 64) = %v", got)
+	}
+	// Max off the doubling sequence is appended.
+	if got := SizeGrid(4, 100); !reflect.DeepEqual(got, []int{4, 8, 16, 32, 64, 100}) {
+		t.Errorf("SizeGrid(4, 100) = %v", got)
+	}
+	if got := SizeGrid(7, 7); !reflect.DeepEqual(got, []int{7}) {
+		t.Errorf("SizeGrid(7, 7) = %v", got)
+	}
+	if SizeGrid(0, 8) != nil || SizeGrid(8, 4) != nil {
+		t.Error("invalid grids accepted")
+	}
+	// Doubling must terminate (not overflow) at the int ceiling.
+	huge := SizeGrid(4, math.MaxInt)
+	if len(huge) == 0 || len(huge) > 64 || huge[len(huge)-1] != math.MaxInt {
+		t.Errorf("SizeGrid to MaxInt: %d entries, last %d", len(huge), huge[len(huge)-1])
+	}
+	for _, v := range huge {
+		if v <= 0 {
+			t.Fatalf("overflowed entry %d in %v", v, huge)
+		}
+	}
+}

@@ -51,9 +51,10 @@ type Config struct {
 // Key returns a map key identifying the simulation (used to share runs
 // between series that read different phases of the same algorithm).
 func (c Config) Key() string {
-	return fmt.Sprintf("%s|%d|%d|%s|%s|%d|%d|%d|%d|%d|%v",
+	return fmt.Sprintf("%s|%d|%d|%s|%s|%d|%d|%d|%d|%d|%v|%s",
 		c.Machine.Name, c.Nodes, c.PPN, c.Algo, c.Opts.Inner,
-		c.Opts.PPL, c.Opts.PPG, c.Opts.BatchWindow, c.Block, c.Runs, c.Opts.GatherKind)
+		c.Opts.PPL, c.Opts.PPG, c.Opts.BatchWindow, c.Block, c.Runs, c.Opts.GatherKind,
+		c.Opts.Table.Fingerprint())
 }
 
 // Measure runs the configuration and returns its data point. The algorithm

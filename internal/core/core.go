@@ -9,7 +9,9 @@
 // novel algorithms — locality-aware aggregation (Algorithm 4 with several
 // groups per node, Section 3.2) and multi-leader + node-aware (Algorithm 5,
 // Section 3.3). A system-MPI emulation reproduces the vendor baseline the
-// paper compares against.
+// paper compares against, and a "tuned" meta-algorithm (Section 5's
+// dynamic-selection future work) dispatches among the family per message
+// size from a Dispatch spec precomputed by internal/autotune.
 //
 // Every algorithm follows MPI_Alltoall semantics: with p ranks and block
 // bytes per destination, send block i goes to rank i and recv block j ends
@@ -49,25 +51,37 @@ const (
 	tagScatter  = 301
 )
 
-// Options configures algorithm construction.
+// Options configures algorithm construction. The zero value is usable for
+// every algorithm except "system-mpi" (which requires Sys) and "tuned"
+// (which requires Table): zero fields take the documented defaults in New.
+// The JSON tags are the persistence format of autotune tables; Table is
+// deliberately excluded (a dispatch spec nested inside a dispatch entry
+// would be meaningless — "tuned" cannot be a tabled winner).
 type Options struct {
 	// Inner is the exchange used for internal all-to-alls (default
 	// pairwise, the paper's solid lines).
-	Inner Inner
+	Inner Inner `json:"inner,omitempty"`
 	// PPL is processes per leader for multileader and
 	// multileader-node-aware (default 4; the paper tests 4, 8, 16).
-	PPL int
+	PPL int `json:"ppl,omitempty"`
 	// PPG is processes per group for locality-aware (default 4; the paper
 	// tests 4, 8, 16).
-	PPG int
+	PPG int `json:"ppg,omitempty"`
 	// BatchWindow is the in-flight message window of the batched
 	// algorithm (default 32).
-	BatchWindow int
+	BatchWindow int `json:"batchWindow,omitempty"`
 	// GatherKind selects the gather/scatter tree for hierarchical
 	// algorithms (default Linear, matching large-block MPI behavior).
-	GatherKind coll.Kind
+	GatherKind coll.Kind `json:"gatherKind,omitempty"`
 	// Sys is the system-MPI emulation profile (required for "system-mpi").
-	Sys netmodel.SysProfile
+	// It is always emitted, zero or not: "omitzero" would need Go 1.24's
+	// encoder and this module supports 1.23, so a conditional tag would
+	// make the on-disk format differ by toolchain.
+	Sys netmodel.SysProfile `json:"sys"`
+	// Table is the dispatch spec for the "tuned" meta-algorithm (required
+	// for "tuned", ignored otherwise). Build one offline with
+	// internal/autotune and convert via Table.Dispatch.
+	Table *Dispatch `json:"-"`
 }
 
 func (o Options) withDefaults() Options {
@@ -87,7 +101,12 @@ func (o Options) withDefaults() Options {
 }
 
 // Alltoaller is a persistent all-to-all operation bound to one rank of a
-// communicator.
+// communicator. Instances are created collectively by New (all ranks of
+// the communicator must construct together, since topology-aware
+// algorithms split communicators during setup), may be reused for any
+// number of exchanges up to the maxBlock fixed at construction, and are
+// not safe for concurrent use by multiple goroutines — like an MPI
+// persistent request, one rank drives one instance.
 type Alltoaller interface {
 	// Name returns the algorithm's registry name.
 	Name() string

@@ -305,7 +305,7 @@ func TestPhasesRecorded(t *testing.T) {
 func TestNames(t *testing.T) {
 	t.Parallel()
 	want := []string{"batched", "bruck", "hierarchical", "locality-aware", "multileader",
-		"multileader-node-aware", "node-aware", "nonblocking", "pairwise", "system-mpi"}
+		"multileader-node-aware", "node-aware", "nonblocking", "pairwise", "system-mpi", "tuned"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"alltoallx/internal/comm"
+	"alltoallx/internal/trace"
+)
+
+// DispatchEntry is one size bucket of a Dispatch spec: blocks of at most
+// MaxBlock bytes run Algo constructed with Opts. Name labels the entry in
+// diagnostics (it defaults to Algo); autotune carries its candidate labels
+// here so "multileader/4ppl" and "multileader/8ppl" stay distinguishable.
+type DispatchEntry struct {
+	MaxBlock int
+	Name     string
+	Algo     string
+	Opts     Options
+}
+
+func (e DispatchEntry) label() string {
+	if e.Name != "" {
+		return e.Name
+	}
+	return e.Algo
+}
+
+// Dispatch is the algorithm-selection spec the "tuned" meta-algorithm is
+// constructed from: an ascending sequence of size buckets, each naming the
+// algorithm that won that size range. Tables built offline by
+// internal/autotune convert to a Dispatch for run-time use; blocks larger
+// than the last bucket use the last bucket (the autotuner's large-message
+// winner).
+type Dispatch struct {
+	Entries []DispatchEntry
+}
+
+// Validate checks that the spec is dispatchable: at least one entry,
+// strictly ascending positive MaxBlock boundaries, and every Algo
+// registered. Two registered names are still rejected: "tuned" itself
+// (which would recurse) and "system-mpi" (its vendor OverheadScale is
+// applied by the bench harness keyed on the top-level algorithm name, so
+// a dispatched system-mpi bucket would run without the scaling that won
+// it the ranking — the emulation is a baseline to beat, not a winner to
+// dispatch).
+func (d *Dispatch) Validate() error {
+	if d == nil || len(d.Entries) == 0 {
+		return fmt.Errorf("core: empty dispatch spec")
+	}
+	prev := 0
+	for i, e := range d.Entries {
+		if e.MaxBlock <= prev {
+			return fmt.Errorf("core: dispatch entry %d: MaxBlock %d not ascending (previous %d)", i, e.MaxBlock, prev)
+		}
+		prev = e.MaxBlock
+		if e.Algo == algoTuned {
+			return fmt.Errorf("core: dispatch entry %d: %q cannot dispatch to itself", i, algoTuned)
+		}
+		if e.Algo == "system-mpi" {
+			return fmt.Errorf("core: dispatch entry %d: %q cannot be a tabled winner (its vendor overhead scaling is applied per top-level algorithm and would be lost under dispatch)", i, e.Algo)
+		}
+		if _, ok := registry[e.Algo]; !ok {
+			return fmt.Errorf("core: dispatch entry %d: unknown algorithm %q (have %v)", i, e.Algo, Names())
+		}
+	}
+	return nil
+}
+
+// Fingerprint returns a short string identifying the spec's contents, for
+// use in measurement cache keys. A nil spec fingerprints as "".
+func (d *Dispatch) Fingerprint() string {
+	if d == nil {
+		return ""
+	}
+	parts := make([]string, len(d.Entries))
+	for i, e := range d.Entries {
+		parts[i] = fmt.Sprintf("%d:%s:%s:%d:%d:%d:%v:%+v",
+			e.MaxBlock, e.Algo, e.Opts.Inner, e.Opts.PPL, e.Opts.PPG, e.Opts.BatchWindow, e.Opts.GatherKind, e.Opts.Sys)
+	}
+	return strings.Join(parts, ",")
+}
+
+const algoTuned = "tuned"
+
+// tunedHysteresis keeps the previous bucket while the block stays within
+// this fraction of the crossed boundary, so a workload alternating between
+// two sizes that straddle a boundary does not rebuild or thrash between
+// algorithms on every call.
+const tunedHysteresis = 0.25
+
+// tuned is the run-time dispatcher over a Dispatch spec. Winning
+// algorithms are instantiated lazily, on the first call that lands in
+// their bucket: instantiation is collective (it splits communicators), and
+// every rank of an SPMD program sees the same block sequence, so all ranks
+// construct the same instance on the same call.
+type tuned struct {
+	c        comm.Comm
+	maxBlock int
+	spec     *Dispatch
+	insts    []Alltoaller // lazily constructed, indexed like spec.Entries
+	last     int          // bucket used by the previous call, -1 before any
+}
+
+func newTuned(c comm.Comm, maxBlock int, o Options) (Alltoaller, error) {
+	if o.Table == nil {
+		return nil, fmt.Errorf("core: %q requires Options.Table (a dispatch spec; see internal/autotune)", algoTuned)
+	}
+	if err := o.Table.Validate(); err != nil {
+		return nil, err
+	}
+	return &tuned{
+		c:        c,
+		maxBlock: maxBlock,
+		spec:     o.Table,
+		insts:    make([]Alltoaller, len(o.Table.Entries)),
+		last:     -1,
+	}, nil
+}
+
+func (t *tuned) Name() string { return algoTuned }
+
+// bucket returns the entry index that should serve a block: the nominal
+// bucket (smallest MaxBlock >= block, or the last entry), adjusted by
+// hysteresis against the previously used bucket.
+func (t *tuned) bucket(block int) int {
+	entries := t.spec.Entries
+	nominal := len(entries) - 1
+	for i, e := range entries {
+		if block <= e.MaxBlock {
+			nominal = i
+			break
+		}
+	}
+	if t.last < 0 {
+		return nominal
+	}
+	// Hysteresis only damps oscillation across one boundary: a block that
+	// lands two or more buckets away is no borderline case and switches
+	// unconditionally.
+	switch nominal {
+	case t.last + 1:
+		// Growing past the upper boundary of the last bucket: stay until
+		// the block clearly exceeds it.
+		bound := float64(entries[t.last].MaxBlock)
+		if float64(block) <= bound*(1+tunedHysteresis) {
+			return t.last
+		}
+	case t.last - 1:
+		// Shrinking below the lower boundary of the last bucket: stay
+		// until the block is clearly inside the smaller bucket.
+		bound := float64(entries[t.last-1].MaxBlock)
+		if float64(block) > bound*(1-tunedHysteresis) {
+			return t.last
+		}
+	}
+	return nominal
+}
+
+func (t *tuned) Alltoall(send, recv comm.Buffer, block int) error {
+	if err := checkArgs(t.c, send, recv, block, t.maxBlock); err != nil {
+		return err
+	}
+	i := t.bucket(block)
+	if t.insts[i] == nil {
+		e := t.spec.Entries[i]
+		a, err := New(e.Algo, t.c, t.maxBlock, e.Opts)
+		if err != nil {
+			return fmt.Errorf("core: tuned bucket <=%d B (%s): %w", e.MaxBlock, e.label(), err)
+		}
+		t.insts[i] = a
+	}
+	t.last = i
+	return t.insts[i].Alltoall(send, recv, block)
+}
+
+// Phases reports the per-phase breakdown of the algorithm the last call
+// dispatched to.
+func (t *tuned) Phases() map[trace.Phase]float64 {
+	if t.last < 0 || t.insts[t.last] == nil {
+		return nil
+	}
+	return t.insts[t.last].Phases()
+}
+
+// Picked returns the label of the entry the last Alltoall dispatched to
+// ("" before any call). Tests and diagnostics use it to observe dispatch
+// decisions; it is available through a type assertion on the Alltoaller:
+//
+//	p := a.(interface{ Picked() string })
+func (t *tuned) Picked() string {
+	if t.last < 0 {
+		return ""
+	}
+	return t.spec.Entries[t.last].label()
+}
+
+// init registers tuned separately: like system-mpi, its factory calls New
+// (at dispatch time), which would otherwise form an initialization cycle
+// with the registry.
+func init() { registry[algoTuned] = newTuned }

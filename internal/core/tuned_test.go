@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"alltoallx/internal/comm"
+	"alltoallx/internal/runtime"
+	"alltoallx/internal/testutil"
+)
+
+// testDispatch is a three-bucket spec over cheap algorithms, with
+// boundaries at 16 and 256 bytes.
+func testDispatch() *Dispatch {
+	return &Dispatch{Entries: []DispatchEntry{
+		{MaxBlock: 16, Name: "small", Algo: "bruck"},
+		{MaxBlock: 256, Name: "mid", Algo: "nonblocking"},
+		{MaxBlock: 4096, Name: "large", Algo: "pairwise"},
+	}}
+}
+
+func TestDispatchValidate(t *testing.T) {
+	t.Parallel()
+	if err := testDispatch().Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		d    *Dispatch
+	}{
+		{"nil", nil},
+		{"empty", &Dispatch{}},
+		{"non-ascending", &Dispatch{Entries: []DispatchEntry{
+			{MaxBlock: 256, Algo: "bruck"}, {MaxBlock: 16, Algo: "bruck"},
+		}}},
+		{"duplicate boundary", &Dispatch{Entries: []DispatchEntry{
+			{MaxBlock: 16, Algo: "bruck"}, {MaxBlock: 16, Algo: "pairwise"},
+		}}},
+		{"nonpositive boundary", &Dispatch{Entries: []DispatchEntry{{MaxBlock: 0, Algo: "bruck"}}}},
+		{"unknown algo", &Dispatch{Entries: []DispatchEntry{{MaxBlock: 16, Algo: "no-such"}}}},
+		{"self-reference", &Dispatch{Entries: []DispatchEntry{{MaxBlock: 16, Algo: "tuned"}}}},
+		// system-mpi's vendor overhead scaling is applied per top-level
+		// algorithm by the bench harness; dispatched it would run unscaled.
+		{"system-mpi winner", &Dispatch{Entries: []DispatchEntry{{MaxBlock: 16, Algo: "system-mpi"}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.d.Validate(); err == nil {
+			t.Errorf("%s spec accepted", tc.name)
+		}
+	}
+}
+
+func TestDispatchFingerprint(t *testing.T) {
+	t.Parallel()
+	var nilSpec *Dispatch
+	if nilSpec.Fingerprint() != "" {
+		t.Error("nil fingerprint not empty")
+	}
+	a, b := testDispatch(), testDispatch()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("equal specs fingerprint differently")
+	}
+	b.Entries[1].Opts.PPL = 8
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("different specs fingerprint equally")
+	}
+}
+
+// TestTunedRequiresTable checks construction validation.
+func TestTunedRequiresTable(t *testing.T) {
+	t.Parallel()
+	err := runtime.Run(runtime.Config{Mapping: mapping(t, 2, 8)}, func(c comm.Comm) error {
+		if _, err := New("tuned", c, 64, Options{}); err == nil {
+			return fmt.Errorf("tuned without a table accepted")
+		}
+		bad := &Dispatch{Entries: []DispatchEntry{{MaxBlock: 16, Algo: "no-such"}}}
+		if _, err := New("tuned", c, 64, Options{Table: bad}); err == nil {
+			return fmt.Errorf("tuned with invalid table accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTunedLiveCorrectness runs the dispatcher on the live runtime with
+// blocks landing in every bucket (and past the last boundary): each
+// exchange must produce byte-exact all-to-all results regardless of which
+// algorithm serves it.
+func TestTunedLiveCorrectness(t *testing.T) {
+	t.Parallel()
+	const maxBlock = 8192
+	blocks := []int{4, 16, 64, 256, 1024, 8192} // 8192 exceeds the last bucket
+	err := runtime.Run(runtime.Config{Mapping: mapping(t, 2, 8)}, func(c comm.Comm) error {
+		p, rank := c.Size(), c.Rank()
+		a, err := New("tuned", c, maxBlock, Options{Table: testDispatch()})
+		if err != nil {
+			return err
+		}
+		for _, block := range blocks {
+			send := comm.Alloc(p * block)
+			recv := comm.Alloc(p * block)
+			testutil.FillAlltoall(send, rank, p, block)
+			if err := a.Alltoall(send, recv, block); err != nil {
+				return fmt.Errorf("block %d: %w", block, err)
+			}
+			if err := testutil.CheckAlltoall(recv, rank, p, block); err != nil {
+				return fmt.Errorf("block %d: %w", block, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTunedHysteresisAdjacentOnly pins the bucket() edge the band math
+// alone would get wrong: with boundaries close together, a block
+// nominally two buckets below the current one must switch even though it
+// falls inside the hysteresis band of the intermediate boundary.
+func TestTunedHysteresisAdjacentOnly(t *testing.T) {
+	t.Parallel()
+	spec := &Dispatch{Entries: []DispatchEntry{
+		{MaxBlock: 100, Algo: "bruck"},
+		{MaxBlock: 120, Algo: "nonblocking"},
+		{MaxBlock: 16384, Algo: "pairwise"},
+	}}
+	tu := &tuned{spec: spec, insts: make([]Alltoaller, 3), last: 2}
+	// 95 B: nominal bucket 0, two below the last; 95 > 0.75*120 would keep
+	// bucket 2 if hysteresis applied across the skipped boundary.
+	if got := tu.bucket(95); got != 0 {
+		t.Errorf("bucket(95) from last=2 = %d, want 0", got)
+	}
+	// 110 B: nominal bucket 1, adjacent below; stays in 2 (110 > 0.75*120).
+	if got := tu.bucket(110); got != 2 {
+		t.Errorf("bucket(110) from last=2 = %d, want 2", got)
+	}
+}
+
+// TestTunedBucketSelection drives the white-box bucket logic: nominal
+// picks, lazy instantiation, and hysteresis at boundaries.
+func TestTunedBucketSelection(t *testing.T) {
+	t.Parallel()
+	err := runtime.Run(runtime.Config{Mapping: mapping(t, 1, 2)}, func(c comm.Comm) error {
+		a, err := New("tuned", c, 8192, Options{Table: testDispatch()})
+		if err != nil {
+			return err
+		}
+		tu := a.(*tuned)
+		if tu.Picked() != "" {
+			return fmt.Errorf("Picked before any call = %q", tu.Picked())
+		}
+		run := func(block int) error {
+			send := comm.Alloc(c.Size() * block)
+			recv := comm.Alloc(c.Size() * block)
+			return a.Alltoall(send, recv, block)
+		}
+
+		// Nominal dispatch + lazy instantiation: only touched buckets exist.
+		if err := run(10); err != nil {
+			return err
+		}
+		if tu.Picked() != "small" {
+			return fmt.Errorf("10 B picked %q, want small", tu.Picked())
+		}
+		if tu.insts[0] == nil || tu.insts[1] != nil || tu.insts[2] != nil {
+			return fmt.Errorf("lazy instantiation broken: %v", tu.insts)
+		}
+		// Hysteresis: 17 B nominally lands in "mid" but is within 25% of
+		// the 16 B boundary, so the dispatcher stays in "small"...
+		if err := run(17); err != nil {
+			return err
+		}
+		if tu.Picked() != "small" {
+			return fmt.Errorf("17 B after 10 B picked %q, want small (hysteresis)", tu.Picked())
+		}
+		// ...while 64 B is clearly beyond it and switches.
+		if err := run(64); err != nil {
+			return err
+		}
+		if tu.Picked() != "mid" {
+			return fmt.Errorf("64 B picked %q, want mid", tu.Picked())
+		}
+		// Coming back down: 15 B is within 25% below the boundary, stays.
+		if err := run(15); err != nil {
+			return err
+		}
+		if tu.Picked() != "mid" {
+			return fmt.Errorf("15 B after 64 B picked %q, want mid (hysteresis)", tu.Picked())
+		}
+		// 8 B is clearly inside "small" again.
+		if err := run(8); err != nil {
+			return err
+		}
+		if tu.Picked() != "small" {
+			return fmt.Errorf("8 B picked %q, want small", tu.Picked())
+		}
+		// Hysteresis is adjacent-boundary only: from "large", a small
+		// block two buckets down switches unconditionally, even if it sits
+		// inside the hysteresis band of an intermediate boundary.
+		if err := run(2048); err != nil {
+			return err
+		}
+		if tu.Picked() != "large" {
+			return fmt.Errorf("2048 B picked %q, want large", tu.Picked())
+		}
+		if err := run(13); err != nil { // nominal "small", 13 > 0.75*16
+			return err
+		}
+		if tu.Picked() != "small" {
+			return fmt.Errorf("13 B after 2048 B picked %q, want small (multi-bucket jump)", tu.Picked())
+		}
+		// A fresh dispatcher has no history: 17 B goes straight to "mid".
+		b, err := New("tuned", c, 8192, Options{Table: testDispatch()})
+		if err != nil {
+			return err
+		}
+		send := comm.Alloc(c.Size() * 17)
+		recv := comm.Alloc(c.Size() * 17)
+		if err := b.Alltoall(send, recv, 17); err != nil {
+			return err
+		}
+		if got := b.(*tuned).Picked(); got != "mid" {
+			return fmt.Errorf("fresh dispatcher at 17 B picked %q, want mid", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

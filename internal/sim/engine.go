@@ -267,8 +267,20 @@ func (e *Engine) WakeAt(p *Proc, t float64) {
 }
 
 // Sync parks until global virtual time catches up with the local clock, so
-// that subsequent shared-state operations occur in global time order. The
-// fast path — no pending event earlier than the local clock — costs
+// that subsequent shared-state operations occur in global time order.
+//
+// Sync is the simulator's causal-ordering invariant: every process must
+// call it before touching any shared resource (NIC ports, memory buses,
+// mailboxes), which guarantees that resource reservations happen in
+// nondecreasing virtual time across the whole simulation. That monotone
+// order is what makes the FIFO resource model in network.go a valid
+// conservative discrete-event simulation — a reservation can never be
+// invalidated by a "late" event from a process whose clock was behind.
+// Omitting Sync before a reservation is the one way to corrupt a
+// simulation without a data race, so every shared-state path in
+// network.go starts with it.
+//
+// The fast path — no pending event earlier than the local clock — costs
 // nothing; any process that would be woken later can only act at or after
 // its wake time, so no earlier reservation can appear.
 func (p *Proc) Sync() {

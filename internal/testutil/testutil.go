@@ -1,7 +1,16 @@
 // Package testutil provides deterministic payload patterns for verifying
 // all-to-all results: every (source, destination, byte-offset) triple maps
-// to a distinct byte, so any misrouted, misplaced or corrupted block is
-// detected, not just missing data.
+// to a pseudo-random byte (PatternByte), so any misrouted, misplaced or
+// corrupted block is detected, not just missing data.
+//
+// The intended shape of a correctness test is Fill -> collective -> Check:
+// FillAlltoall writes rank r's send buffer, the algorithm under test runs,
+// and CheckAlltoall proves block s of the receive buffer holds exactly
+// what rank s generated for r. Because the pattern is a pure function of
+// (src, dst, offset), no reference data is exchanged or stored, and the
+// same checks run identically on the live runtime and on the simulator
+// with real payloads. Virtual (payload-free) buffers cannot be checked;
+// Check functions report an error for them rather than vacuously passing.
 package testutil
 
 import (
