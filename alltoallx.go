@@ -28,6 +28,27 @@
 // figure of the paper, and cmd/a2atune precomputes per-size dispatch
 // tables for the "tuned" algorithm; see README.md for the architecture
 // map and the tune -> dispatch workflow.
+//
+// # Unified persistent-operation API
+//
+// Every collective follows one model: a registry of named algorithms, a
+// collective constructor that performs all communicator splitting and
+// staging setup (outside the timed region, as the paper measures), and a
+// reusable operation object with a Phases() breakdown:
+//
+//	New(name, c, maxBlock, o)        -> Alltoaller      (fixed-size all-to-all)
+//	NewV(name, c, maxTotal, o)       -> Alltoallver     (MPI_Alltoallv)
+//	NewAllgather(name, c, o)         -> Allgatherer
+//	NewAllreduce(name, c, o)         -> Allreducer
+//	NewReduceScatter(name, c, o)     -> ReduceScatterer
+//
+// Both all-to-all registries include a "tuned" meta-algorithm driven by a
+// persisted autotune table (cmd/a2atune -op alltoall|alltoallv); the
+// one-shot free functions (Alltoallv, AllgatherRing, ...) remain as
+// deprecated shims over the same implementations. DisplsFromCounts is the
+// packing helper for variable-sized calls: it turns per-peer byte counts
+// into contiguous displacements plus the total buffer length
+// (AlltoallvCounts is its deprecated former name).
 package alltoallx
 
 import (
@@ -112,6 +133,16 @@ type Dispatch = core.Dispatch
 
 // DispatchEntry is one size bucket of a Dispatch.
 type DispatchEntry = core.DispatchEntry
+
+// Op names the collective operation a dispatch spec or autotune table was
+// tuned for.
+type Op = core.Op
+
+// Tunable operation kinds.
+const (
+	OpAlltoall  = core.OpAlltoall
+	OpAlltoallv = core.OpAlltoallv
+)
 
 // New constructs the named algorithm on c (collective call). Algorithm
 // names: pairwise, nonblocking, batched, bruck, hierarchical, multileader,

@@ -5,6 +5,7 @@
 // Examples:
 //
 //	go run ./cmd/a2asim -machine Dane -nodes 32 -algo multileader-node-aware -ppl 4 -block 4
+//	go run ./cmd/a2asim -op alltoallv -algo node-aware -block 512
 //	go run ./cmd/a2asim -table table.json -block 512
 package main
 
@@ -25,6 +26,7 @@ func main() {
 		machine   = flag.String("machine", "Dane", "machine model: Dane, Amber, Tuolomne")
 		nodes     = flag.Int("nodes", 8, "node count")
 		ppn       = flag.Int("ppn", 0, "ranks per node (0 = all cores)")
+		opName    = flag.String("op", "alltoall", "collective: alltoall or alltoallv (block = mean bytes per peer)")
 		algo      = flag.String("algo", "node-aware", "algorithm name")
 		inner     = flag.String("inner", "pairwise", "inner exchange: pairwise, nonblocking, bruck")
 		ppl       = flag.Int("ppl", 4, "processes per leader")
@@ -36,6 +38,10 @@ func main() {
 	)
 	flag.Parse()
 
+	op := core.Op(*opName).Norm()
+	if op != core.OpAlltoall && op != core.OpAlltoallv {
+		fatal(fmt.Errorf("unknown -op %q (want %s or %s)", *opName, core.OpAlltoall, core.OpAlltoallv))
+	}
 	var m netmodel.Params
 	var p int
 	opts := core.Options{Inner: core.Inner(*inner), PPL: *ppl, PPG: *ppg}
@@ -48,6 +54,8 @@ func main() {
 				fatal(fmt.Errorf("-%s does not apply with -table: the table carries its own world shape (retune with a2atune for another)", f.Name))
 			case "inner", "ppl", "ppg":
 				fatal(fmt.Errorf("-%s does not apply with -table: the table's per-size winners carry their own options", f.Name))
+			case "op":
+				fatal(fmt.Errorf("-op does not apply with -table: the table carries its own operation kind"))
 			case "algo":
 				if *algo != "tuned" {
 					fatal(fmt.Errorf("-algo %s conflicts with -table (a table always runs the tuned dispatcher)", *algo))
@@ -64,6 +72,7 @@ func main() {
 		}
 		*nodes, p = table.Nodes, table.PPN
 		*algo = "tuned"
+		op = table.Op.Norm()
 		opts = table.Options()
 	} else {
 		if *algo == "tuned" {
@@ -81,6 +90,7 @@ func main() {
 	}
 	cfg := bench.Config{
 		Machine: m, Nodes: *nodes, PPN: p,
+		Op:    op,
 		Algo:  *algo,
 		Opts:  opts,
 		Block: *block, Runs: *runs, BaseSeed: *seed,
@@ -93,8 +103,8 @@ func main() {
 	if *tablePath != "" {
 		how = "dispatched from " + *tablePath
 	}
-	fmt.Printf("%s on %s: %d nodes x %d ranks, %d B/block (%s)\n",
-		*algo, m.Name, *nodes, p, *block, how)
+	fmt.Printf("%s %s on %s: %d nodes x %d ranks, %d B/block (%s)\n",
+		op, *algo, m.Name, *nodes, p, *block, how)
 	fmt.Printf("  time      %.6e s (min of %d runs)\n", pt.Seconds, *runs)
 	for _, ph := range trace.SortedPhases(pt.Phases) {
 		fmt.Printf("  phase %-8s %.6e s\n", ph, pt.Phases[ph])

@@ -1,14 +1,18 @@
-// Command a2atune selects the best all-to-all algorithm for a machine,
-// scale and message-size range — the paper's future-work goal of dynamic
-// algorithm selection, driven by the machine model. With -o it persists
-// the per-size winners as a versioned JSON dispatch table that the
-// "tuned" algorithm (cmd/a2asim -table, cmd/alltoallbench -table, or
-// core.New in library use) dispatches from at run time.
+// Command a2atune selects the best algorithm for a machine, scale,
+// operation and message-size range — the paper's future-work goal of
+// dynamic algorithm selection, driven by the machine model. With -o it
+// persists the per-size winners as a versioned JSON dispatch table that
+// the "tuned" algorithm (cmd/a2asim -table, cmd/alltoallbench -table, or
+// core.New / core.NewV in library use) dispatches from at run time. The
+// -op flag selects the tuned collective: alltoall (fixed-size, the
+// default) or alltoallv (variable-size; sizes then mean the average
+// payload per peer of the skewed benchmark workload).
 //
 // Examples:
 //
 //	go run ./cmd/a2atune -machine Dane -nodes 32 -ppn 112 -sizes 4,64,1024,4096
 //	go run ./cmd/a2atune -machine Dane -nodes 8 -ppn 16 -grid 4:65536 -o table.json
+//	go run ./cmd/a2atune -op alltoallv -nodes 8 -ppn 16 -grid 4:4096 -o vtable.json
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"strings"
 
 	"alltoallx/internal/autotune"
+	"alltoallx/internal/core"
 	"alltoallx/internal/netmodel"
 )
 
@@ -29,6 +34,7 @@ func main() {
 		machine = flag.String("machine", "Dane", "machine model: Dane, Amber, Tuolomne")
 		nodes   = flag.Int("nodes", 8, "node count")
 		ppn     = flag.Int("ppn", 0, "ranks per node (0 = all cores)")
+		opName  = flag.String("op", "alltoall", "collective to tune: alltoall or alltoallv")
 		sizes   = flag.String("sizes", "4,64,1024,4096", "comma-separated block sizes in bytes")
 		grid    = flag.String("grid", "", "doubling size grid min:max in bytes (overrides -sizes)")
 		runs    = flag.Int("runs", 2, "runs per candidate (minimum kept)")
@@ -41,6 +47,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	op := core.Op(*opName).Norm()
+	if op != core.OpAlltoall && op != core.OpAlltoallv {
+		fatal(fmt.Errorf("unknown -op %q (want %s or %s)", *opName, core.OpAlltoall, core.OpAlltoallv))
+	}
 	p := *ppn
 	if p == 0 {
 		p = m.Node.CoresPerNode()
@@ -49,15 +59,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cands := autotune.DefaultCandidates(p)
-	fmt.Printf("tuning all-to-all on %s: %d nodes x %d ranks, %d candidates x %d sizes\n",
-		m.Name, *nodes, p, len(cands), len(sz))
+	cands := autotune.DefaultCandidates(op, p)
+	fmt.Printf("tuning %s on %s: %d nodes x %d ranks, %d candidates x %d sizes\n",
+		op, m.Name, *nodes, p, len(cands), len(sz))
 	// Assemble the table directly from the winners printed below, so each
 	// (candidate, size) point is simulated exactly once whether or not the
 	// table is written.
-	table := &autotune.Table{Version: autotune.TableVersion, Machine: m.Name, Nodes: *nodes, PPN: p}
+	table := &autotune.Table{Version: autotune.TableVersion, Machine: m.Name, Nodes: *nodes, PPN: p, Op: op}
 	for _, s := range sz {
-		best, ranking, err := autotune.Select(m, *nodes, p, s, cands, *runs, 1)
+		best, ranking, err := autotune.Select(m, op, *nodes, p, s, cands, *runs, 1)
 		if err != nil {
 			fatal(err)
 		}

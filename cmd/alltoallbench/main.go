@@ -29,6 +29,7 @@ import (
 
 	"alltoallx/internal/autotune"
 	"alltoallx/internal/bench"
+	"alltoallx/internal/core"
 	"alltoallx/internal/netmodel"
 )
 
@@ -43,8 +44,10 @@ func main() {
 		plot       = flag.Bool("plot", false, "render an ASCII log-scale chart of each figure")
 		verbose    = flag.Bool("v", false, "print per-point progress")
 		tablePath  = flag.String("table", "", "autotune dispatch table (JSON): benchmark it instead of a figure")
-		algoList   = flag.String("algo", "tuned,bruck,node-aware,multileader-node-aware,system-mpi",
-			"with -table: comma-separated algorithms to compare (tuned = the table's dispatcher)")
+		opName     = flag.String("op", "alltoall",
+			"with -table: the collective the table must be tuned for (alltoall or alltoallv)")
+		algoList = flag.String("algo", "",
+			"with -table: comma-separated algorithms to compare (tuned = the table's dispatcher; default depends on -op)")
 	)
 	flag.Parse()
 
@@ -63,10 +66,17 @@ func main() {
 		progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
 	}
 
+	op := core.Op(*opName).Norm()
+	if op != core.OpAlltoall && op != core.OpAlltoallv {
+		fatal(fmt.Errorf("unknown -op %q (want %s or %s)", *opName, core.OpAlltoall, core.OpAlltoallv))
+	}
 	if *tablePath == "" {
 		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "algo" {
+			switch f.Name {
+			case "algo":
 				fatal(fmt.Errorf("-algo only applies with -table (figures fix their own algorithm series)"))
+			case "op":
+				fatal(fmt.Errorf("-op only applies with -table (experiments fix their own operation; run -experiment alltoallv for the variable-size scenario)"))
 			}
 		})
 	}
@@ -79,7 +89,14 @@ func main() {
 				fatal(fmt.Errorf("-experiment and -table are mutually exclusive (a table benchmark is its own experiment)"))
 			}
 		})
-		if err := runTable(*tablePath, *algoList, scale, *csvDir, *plot, progress); err != nil {
+		algos := *algoList
+		if algos == "" {
+			algos = "tuned,bruck,node-aware,multileader-node-aware,system-mpi"
+			if op == core.OpAlltoallv {
+				algos = "tuned,pairwise,nonblocking,node-aware,locality-aware"
+			}
+		}
+		if err := runTable(*tablePath, op, algos, scale, *csvDir, *plot, progress); err != nil {
 			fatal(err)
 		}
 		return
@@ -133,11 +150,16 @@ func runOne(id string, scale bench.Scale, nodeOverride int, csvDir string, plot 
 
 // runTable benchmarks the tuned dispatcher of an a2atune table against
 // static algorithms. The sweep runs at the table's world shape (machine,
-// nodes, ppn) over the table's size grid; -scale only sets repetitions.
-func runTable(path, algoList string, scale bench.Scale, csvDir string, plot bool, progress func(string)) error {
+// nodes, ppn) and operation over the table's size grid; -scale only sets
+// repetitions.
+func runTable(path string, op core.Op, algoList string, scale bench.Scale, csvDir string, plot bool, progress func(string)) error {
 	table, err := autotune.Load(path)
 	if err != nil {
 		return err
+	}
+	if table.Op.Norm() != op {
+		return fmt.Errorf("table %s was tuned for %s, but -op is %s (pass -op %s, or retune with a2atune -op %s)",
+			path, table.Op.Norm(), op, table.Op.Norm(), op)
 	}
 	// Fail before the sweep if the current machine model cannot host the
 	// tuned world (RunExperiment would silently clamp ppn to the model's
@@ -150,9 +172,10 @@ func runTable(path, algoList string, scale bench.Scale, csvDir string, plot bool
 		return fmt.Errorf("table tuned for %d ranks/node, %s nodes have %d cores", table.PPN, table.Machine, cores)
 	}
 	exp := bench.Experiment{
-		ID:      "tuned",
-		Title:   fmt.Sprintf("Tuned dispatcher (%s) vs static algorithms", filepath.Base(path)),
+		ID:      "tuned-" + string(op),
+		Title:   fmt.Sprintf("Tuned %s dispatcher (%s) vs static algorithms", op, filepath.Base(path)),
 		Machine: table.Machine,
+		Op:      op,
 		XAxis:   bench.XSize,
 		Nodes:   table.Nodes,
 		Expectation: "the tuned line tracks the lower envelope of the static lines " +
@@ -167,8 +190,17 @@ func runTable(path, algoList string, scale bench.Scale, csvDir string, plot bool
 			continue
 		}
 		s := bench.Series{Label: name, Algo: name}
-		if name == "tuned" {
+		switch name {
+		case "tuned":
 			s.Opts = table.Options()
+		case "locality-aware":
+			// State the default group/leader sizes explicitly so the bench
+			// harness can clamp them to a divisor of the table's PPN
+			// (core's withDefaults would otherwise hard-fail on worlds
+			// where 4 does not divide ppn).
+			s.Opts.PPG = 4
+		case "multileader", "multileader-node-aware":
+			s.Opts.PPL = 4
 		}
 		exp.Series = append(exp.Series, s)
 	}

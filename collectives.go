@@ -5,23 +5,55 @@ import (
 	"alltoallx/internal/core"
 )
 
-// Alltoallv performs a variable-sized all-to-all: rank r sends
-// sendCounts[i] bytes at sdispls[i] to rank i and receives recvCounts[j]
-// bytes from rank j at rdispls[j] (MPI_Alltoallv semantics, pairwise
-// stepping).
+// Alltoallver is a persistent variable-sized all-to-all operation — the
+// MPI_Alltoallv counterpart of Alltoaller, with the same lifecycle:
+// construct once (collectively) with NewV, reuse for any number of
+// exchanges within the maxTotal fixed at construction.
+type Alltoallver = core.Alltoallver
+
+// NewV constructs the named persistent alltoallv on c (collective call).
+// maxTotal — the largest send or receive total of ANY rank — must be
+// passed identically by every rank. Algorithm names: pairwise,
+// nonblocking, node-aware, locality-aware, tuned.
+func NewV(name string, c Comm, maxTotal int, o Options) (Alltoallver, error) {
+	return core.NewV(name, c, maxTotal, o)
+}
+
+// AlgorithmsV returns all registered alltoallv algorithm names.
+func AlgorithmsV() []string { return core.NamesV() }
+
+// DisplsFromCounts builds contiguous displacements for per-peer byte
+// counts and returns the total buffer length — the common packing helper
+// for Alltoallv callers.
+func DisplsFromCounts(counts []int) (displs []int, total int) {
+	return core.DisplsFromCounts(counts)
+}
+
+// AlltoallvCounts builds contiguous displacements for per-peer byte
+// counts.
+//
+// Deprecated: renamed to DisplsFromCounts (the result is displacements,
+// not counts); this alias forwards to it.
+func AlltoallvCounts(counts []int) (displs []int, total int) {
+	return core.DisplsFromCounts(counts)
+}
+
+// Alltoallv performs a one-shot variable-sized all-to-all (MPI_Alltoallv
+// semantics, pairwise stepping).
+//
+// Deprecated: construct a persistent operation with
+// NewV("pairwise", ...) instead; the free function re-validates on every
+// call and cannot take part in tuned dispatch.
 func Alltoallv(c Comm, send Buffer, sendCounts, sdispls []int, recv Buffer, recvCounts, rdispls []int) error {
 	return core.Alltoallv(c, send, sendCounts, sdispls, recv, recvCounts, rdispls)
 }
 
 // AlltoallvNonblocking is Alltoallv with all exchanges posted up front.
+//
+// Deprecated: construct a persistent operation with
+// NewV("nonblocking", ...) instead.
 func AlltoallvNonblocking(c Comm, send Buffer, sendCounts, sdispls []int, recv Buffer, recvCounts, rdispls []int) error {
 	return core.AlltoallvNonblocking(c, send, sendCounts, sdispls, recv, recvCounts, rdispls)
-}
-
-// AlltoallvCounts builds contiguous displacements for per-peer byte counts
-// and returns the total buffer length.
-func AlltoallvCounts(counts []int) (displs []int, total int) {
-	return core.CountsFromSizes(counts)
 }
 
 // ReduceOp accumulates the second buffer into the first, element-wise.
@@ -33,10 +65,53 @@ var (
 	MaxInt64 ReduceOp = collx.MaxInt64
 )
 
+// Allgatherer is a persistent allgather operation (registry names: ring,
+// bruck, node-aware).
+type Allgatherer = collx.Allgatherer
+
+// Allreducer is a persistent allreduce operation (registry names:
+// recursive-doubling, node-aware).
+type Allreducer = collx.Allreducer
+
+// ReduceScatterer is a persistent reduce-scatter operation (registry
+// names: pairwise, node-aware).
+type ReduceScatterer = collx.ReduceScatterer
+
+// NewAllgather constructs the named persistent allgather on c (collective
+// call; the node-aware variant splits leader communicators once, during
+// construction).
+func NewAllgather(name string, c Comm, o Options) (Allgatherer, error) {
+	return collx.NewAllgather(name, c, o)
+}
+
+// NewAllreduce constructs the named persistent allreduce on c (collective
+// call).
+func NewAllreduce(name string, c Comm, o Options) (Allreducer, error) {
+	return collx.NewAllreduce(name, c, o)
+}
+
+// NewReduceScatter constructs the named persistent reduce-scatter on c
+// (collective call).
+func NewReduceScatter(name string, c Comm, o Options) (ReduceScatterer, error) {
+	return collx.NewReduceScatter(name, c, o)
+}
+
+// AllgatherAlgorithms returns the registered allgather algorithm names.
+func AllgatherAlgorithms() []string { return collx.AllgatherNames() }
+
+// AllreduceAlgorithms returns the registered allreduce algorithm names.
+func AllreduceAlgorithms() []string { return collx.AllreduceNames() }
+
+// ReduceScatterAlgorithms returns the registered reduce-scatter algorithm
+// names.
+func ReduceScatterAlgorithms() []string { return collx.ReduceScatterNames() }
+
 // NodeAwareCollectives applies the paper's aggregation strategy (its
 // Section 5 future work) to allgather, allreduce, reduce-scatter and
 // broadcast: leaders perform the inter-node part, everything else stays on
-// the node.
+// the node. Library users should prefer the registry constructors
+// (NewAllgather et al., name "node-aware"); this object remains the home
+// of the node-aware broadcast.
 type NodeAwareCollectives = collx.NodeAware
 
 // NewNodeAwareCollectives builds the node-level communicators once
@@ -47,24 +122,36 @@ func NewNodeAwareCollectives(c Comm) (*NodeAwareCollectives, error) {
 
 // AllgatherRing gathers every rank's block to all ranks in p-1
 // neighbor steps (bandwidth-optimal baseline).
+//
+// Deprecated: construct a persistent operation with
+// NewAllgather("ring", ...) instead.
 func AllgatherRing(c Comm, send, recv Buffer, block int) error {
 	return collx.AllgatherRing(c, send, recv, block)
 }
 
 // AllgatherBruck gathers in ceil(log2 p) doubling steps
 // (latency-optimal baseline).
+//
+// Deprecated: construct a persistent operation with
+// NewAllgather("bruck", ...) instead.
 func AllgatherBruck(c Comm, send, recv Buffer, block int) error {
 	return collx.AllgatherBruck(c, send, recv, block)
 }
 
 // AllreduceRecursiveDoubling reduces buf element-wise across all ranks,
 // leaving the result everywhere.
+//
+// Deprecated: construct a persistent operation with
+// NewAllreduce("recursive-doubling", ...) instead.
 func AllreduceRecursiveDoubling(c Comm, buf Buffer, op ReduceOp) error {
 	return collx.AllreduceRecursiveDoubling(c, buf, op)
 }
 
 // ReduceScatterPairwise leaves each rank the element-wise reduction of
 // every rank's block for it.
+//
+// Deprecated: construct a persistent operation with
+// NewReduceScatter("pairwise", ...) instead.
 func ReduceScatterPairwise(c Comm, send, recv Buffer, block int, op ReduceOp) error {
 	return collx.ReduceScatterPairwise(c, send, recv, block, op)
 }

@@ -148,3 +148,173 @@ func TestPublicFlatCollectives(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPublicNewV drives the unified persistent alltoallv API through the
+// facade: node-aware aggregation plus the tuned dispatcher built from an
+// OpAlltoallv dispatch spec.
+func TestPublicNewV(t *testing.T) {
+	t.Parallel()
+	spec := alltoallx.NodeSpec{Sockets: 2, NumaPerSocket: 2, CoresPerNuma: 2}
+	mapping, err := alltoallx.NewMapping(spec, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mapping.Size()
+	count := func(src, dst int) int { return (src+dst)%5 + 1 }
+	maxTotal := 0
+	for r := 0; r < p; r++ {
+		st, rt := 0, 0
+		for i := 0; i < p; i++ {
+			st += count(r, i)
+			rt += count(i, r)
+		}
+		if st > maxTotal {
+			maxTotal = st
+		}
+		if rt > maxTotal {
+			maxTotal = rt
+		}
+	}
+	for _, name := range []string{"node-aware", "locality-aware", "tuned"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			opts := alltoallx.Options{PPG: 4}
+			if name == "tuned" {
+				opts.Table = &alltoallx.Dispatch{Op: alltoallx.OpAlltoallv, Entries: []alltoallx.DispatchEntry{
+					{MaxBlock: 2, Algo: "pairwise"},
+					{MaxBlock: 4096, Algo: "node-aware"},
+				}}
+			}
+			err := alltoallx.RunLive(alltoallx.LiveConfig{Mapping: mapping}, func(c alltoallx.Comm) error {
+				r := c.Rank()
+				sc := make([]int, p)
+				rc := make([]int, p)
+				for i := 0; i < p; i++ {
+					sc[i] = count(r, i)
+					rc[i] = count(i, r)
+				}
+				sdispls, sTotal := alltoallx.DisplsFromCounts(sc)
+				rdispls, rTotal := alltoallx.DisplsFromCounts(rc)
+				a, err := alltoallx.NewV(name, c, maxTotal, opts)
+				if err != nil {
+					return err
+				}
+				send := alltoallx.Alloc(sTotal)
+				recv := alltoallx.Alloc(rTotal)
+				for i := 0; i < p; i++ {
+					for k := 0; k < sc[i]; k++ {
+						send.Bytes()[sdispls[i]+k] = byte(r*16 + i)
+					}
+				}
+				if err := a.Alltoallv(send, sc, sdispls, recv, rc, rdispls); err != nil {
+					return err
+				}
+				for i := 0; i < p; i++ {
+					for k := 0; k < rc[i]; k++ {
+						if got, want := recv.Bytes()[rdispls[i]+k], byte(i*16+r); got != want {
+							return fmt.Errorf("rank %d from %d byte %d: got %d want %d", r, i, k, got, want)
+						}
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPublicCollectiveRegistries exercises the registry constructors for
+// allgather, allreduce and reduce-scatter through the facade.
+func TestPublicCollectiveRegistries(t *testing.T) {
+	t.Parallel()
+	spec := alltoallx.NodeSpec{Sockets: 2, NumaPerSocket: 2, CoresPerNuma: 2}
+	mapping, err := alltoallx.NewMapping(spec, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mapping.Size()
+	if got := alltoallx.AllgatherAlgorithms(); len(got) < 3 {
+		t.Fatalf("allgather registry too small: %v", got)
+	}
+	if got := alltoallx.AllreduceAlgorithms(); len(got) < 2 {
+		t.Fatalf("allreduce registry too small: %v", got)
+	}
+	if got := alltoallx.ReduceScatterAlgorithms(); len(got) < 2 {
+		t.Fatalf("reduce-scatter registry too small: %v", got)
+	}
+	err = alltoallx.RunLive(alltoallx.LiveConfig{Mapping: mapping}, func(c alltoallx.Comm) error {
+		r := c.Rank()
+		const block = 8
+		ag, err := alltoallx.NewAllgather("node-aware", c, alltoallx.Options{})
+		if err != nil {
+			return err
+		}
+		send := alltoallx.Alloc(block)
+		recv := alltoallx.Alloc(p * block)
+		for i := range send.Bytes() {
+			send.Bytes()[i] = byte(r)
+		}
+		if err := ag.Allgather(send, recv, block); err != nil {
+			return err
+		}
+		for s := 0; s < p; s++ {
+			if got := recv.Bytes()[s*block]; got != byte(s) {
+				return fmt.Errorf("allgather block %d: got %d", s, got)
+			}
+		}
+
+		ar, err := alltoallx.NewAllreduce("node-aware", c, alltoallx.Options{})
+		if err != nil {
+			return err
+		}
+		buf := alltoallx.Alloc(8)
+		binary.LittleEndian.PutUint64(buf.Bytes(), uint64(int64(r+1)))
+		if err := ar.Allreduce(buf, alltoallx.SumInt64); err != nil {
+			return err
+		}
+		wantSum := int64(p * (p + 1) / 2)
+		if got := int64(binary.LittleEndian.Uint64(buf.Bytes())); got != wantSum {
+			return fmt.Errorf("allreduce: got %d, want %d", got, wantSum)
+		}
+
+		rs, err := alltoallx.NewReduceScatter("pairwise", c, alltoallx.Options{})
+		if err != nil {
+			return err
+		}
+		rsend := alltoallx.Alloc(p * 8)
+		rrecv := alltoallx.Alloc(8)
+		for d := 0; d < p; d++ {
+			binary.LittleEndian.PutUint64(rsend.Bytes()[d*8:], uint64(int64(d)))
+		}
+		if err := rs.ReduceScatter(rsend, rrecv, 8, alltoallx.SumInt64); err != nil {
+			return err
+		}
+		if got := int64(binary.LittleEndian.Uint64(rrecv.Bytes())); got != int64(r*p) {
+			return fmt.Errorf("reduce-scatter: got %d, want %d", got, r*p)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDisplsFromCountsAlias: the renamed helper and its deprecated alias
+// agree.
+func TestDisplsFromCountsAlias(t *testing.T) {
+	t.Parallel()
+	counts := []int{3, 0, 5, 2}
+	d1, t1 := alltoallx.DisplsFromCounts(counts)
+	d2, t2 := alltoallx.AlltoallvCounts(counts)
+	if t1 != t2 || t1 != 10 {
+		t.Fatalf("totals differ: %d vs %d", t1, t2)
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("displs differ at %d: %v vs %v", i, d1, d2)
+		}
+	}
+}

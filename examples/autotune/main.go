@@ -8,7 +8,11 @@
 // constructs the "tuned" meta-algorithm from the loaded table and
 // dispatches each block size to its tabled winner.
 //
-//	go run ./examples/autotune [-machine Dane] [-nodes 8] [-ppn 16] [-o table.json]
+// The -op flag tunes and dispatches either collective through the same
+// unified persistent-operation API: alltoall (fixed-size) or alltoallv
+// (variable-size, Zipf-skewed counts).
+//
+//	go run ./examples/autotune [-machine Dane] [-nodes 8] [-ppn 16] [-op alltoallv] [-o table.json]
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"os"
 
 	"alltoallx/internal/autotune"
+	"alltoallx/internal/bench"
 	"alltoallx/internal/comm"
 	"alltoallx/internal/core"
 	"alltoallx/internal/netmodel"
@@ -29,17 +34,18 @@ func main() {
 		machine = flag.String("machine", "Dane", "machine model")
 		nodes   = flag.Int("nodes", 8, "node count")
 		ppn     = flag.Int("ppn", 16, "ranks per node")
+		opName  = flag.String("op", "alltoall", "collective to tune: alltoall or alltoallv")
 		out     = flag.String("o", "", "table path (empty = a temp file, removed on exit)")
 	)
 	flag.Parse()
 	// run, not main, owns the logic: log.Fatal would skip the deferred
 	// temp-file cleanup.
-	if err := run(*machine, *nodes, *ppn, *out); err != nil {
+	if err := run(*machine, *nodes, *ppn, core.Op(*opName), *out); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(machineName string, nodes, ppn int, out string) error {
+func run(machineName string, nodes, ppn int, op core.Op, out string) error {
 	m, err := netmodel.ByName(machineName)
 	if err != nil {
 		return err
@@ -47,10 +53,10 @@ func run(machineName string, nodes, ppn int, out string) error {
 
 	// 1. Produce: rank every candidate at every size on the machine model.
 	sizes := autotune.SizeGrid(4, 4096)
-	cands := autotune.DefaultCandidates(ppn)
-	fmt.Printf("tuning all-to-all on %s (%d nodes x %d ranks): %d candidates x %d sizes...\n",
-		m.Name, nodes, ppn, len(cands), len(sizes))
-	table, err := autotune.BuildTable(m, nodes, ppn, sizes, cands, 2, 1)
+	cands := autotune.DefaultCandidates(op, ppn)
+	fmt.Printf("tuning %s on %s (%d nodes x %d ranks): %d candidates x %d sizes...\n",
+		op.Norm(), m.Name, nodes, ppn, len(cands), len(sizes))
+	table, err := autotune.BuildTable(m, op, nodes, ppn, sizes, cands, 2, 1)
 	if err != nil {
 		return err
 	}
@@ -89,6 +95,9 @@ func run(machineName string, nodes, ppn int, out string) error {
 	timed := make([]float64, len(probes))
 	cfg := sim.ClusterConfig{Model: m, Nodes: nodes, PPN: ppn, Seed: 1}
 	_, err = sim.RunCluster(cfg, func(c comm.Comm) error {
+		if op.Norm() == core.OpAlltoallv {
+			return dispatchV(c, loaded, probes, picked, timed)
+		}
 		a, err := core.New("tuned", c, probes[len(probes)-1], loaded.Options())
 		if err != nil {
 			return err
@@ -116,6 +125,46 @@ func run(machineName string, nodes, ppn int, out string) error {
 	for i, block := range probes {
 		fmt.Printf("  %5d B -> %-28s %.3e s (table predicted %s)\n",
 			block, picked[i], timed[i], loaded.Pick(block).Name)
+	}
+	return nil
+}
+
+// dispatchV probes the tuned alltoallv dispatcher with the benchmark's
+// Zipf-skewed count matrices, one per mean block size.
+func dispatchV(c comm.Comm, table *autotune.Table, probes []int, picked []string, timed []float64) error {
+	p, r := c.Size(), c.Rank()
+	// maxTotal is collective: the largest send/recv total of ANY rank over
+	// every probed count matrix (hot columns can exceed p*mean).
+	maxTotal := 1
+	for _, block := range probes {
+		if t := bench.MaxTotal(bench.ZipfCounts(p, block)); t > maxTotal {
+			maxTotal = t
+		}
+	}
+	a, err := core.NewV("tuned", c, maxTotal, table.Options())
+	if err != nil {
+		return err
+	}
+	for i, block := range probes {
+		counts := bench.ZipfCounts(p, block)
+		sc := counts[r]
+		rc := make([]int, p)
+		for s := 0; s < p; s++ {
+			rc[s] = counts[s][r]
+		}
+		sdispls, sTotal := core.DisplsFromCounts(sc)
+		rdispls, rTotal := core.DisplsFromCounts(rc)
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		t0 := c.Now()
+		if err := a.Alltoallv(comm.Virtual(sTotal), sc, sdispls, comm.Virtual(rTotal), rc, rdispls); err != nil {
+			return err
+		}
+		if r == 0 {
+			timed[i] = c.Now() - t0
+			picked[i] = a.(interface{ Picked() string }).Picked()
+		}
 	}
 	return nil
 }

@@ -1,11 +1,18 @@
 // Mixture-of-experts token shuffle — the paper's deep-learning motivation
 // for all-to-all. Every rank hosts one expert and a batch of tokens; a
-// router assigns each token an expert, tokens travel to their experts via
-// all-to-all (fixed capacity per rank pair, like framework MoE layers),
-// are "processed", and travel back through a second all-to-all. Delivery
-// is verified token by token.
+// router assigns each token an expert, tokens travel to their experts,
+// are "processed", and travel back. Delivery is verified token by token.
 //
-//	go run ./examples/mlshuffle [-tokens 256] [-dim 64] [-ranks 16]
+// The -op flag selects the exchange through the unified persistent API:
+//
+//   - alltoall: fixed capacity per rank pair, like framework MoE layers —
+//     tokens over capacity are dropped (counted).
+//
+//   - alltoallv: exact variable counts via NewV — a small fixed-size
+//     all-to-all exchanges the per-pair token counts, then the payload
+//     alltoallv moves exactly the routed bytes. No capacity, no drops.
+//
+//     go run ./examples/mlshuffle [-op alltoallv] [-tokens 256] [-dim 64] [-ranks 16]
 package main
 
 import (
@@ -24,7 +31,8 @@ func main() {
 		tokens = flag.Int("tokens", 256, "tokens per rank per step")
 		dim    = flag.Int("dim", 64, "floats per token")
 		ranks  = flag.Int("ranks", 16, "rank count (= expert count)")
-		algo   = flag.String("algo", "multileader-node-aware", "all-to-all algorithm")
+		opName = flag.String("op", "alltoallv", "exchange: alltoall (fixed capacity, drops) or alltoallv (exact counts)")
+		algo   = flag.String("algo", "", "algorithm name (default: multileader-node-aware for alltoall, node-aware for alltoallv)")
 		steps  = flag.Int("steps", 10, "shuffle steps to time")
 	)
 	flag.Parse()
@@ -38,24 +46,169 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	op := alltoallx.Op(*opName)
+	switch op {
+	case alltoallx.OpAlltoall:
+		if *algo == "" {
+			*algo = "multileader-node-aware"
+		}
+		runCapacity(mapping, *tokens, *dim, *steps, *algo)
+	case alltoallx.OpAlltoallv:
+		if *algo == "" {
+			*algo = "node-aware"
+		}
+		runExact(mapping, *tokens, *dim, *steps, *algo)
+	default:
+		log.Fatalf("unknown -op %q (want %s or %s)", *opName, alltoallx.OpAlltoall, alltoallx.OpAlltoallv)
+	}
+}
+
+// runExact shuffles with exact counts: a persistent 8-byte all-to-all
+// announces how many bytes each pair exchanges, then a persistent
+// alltoallv moves exactly that much. Every routed token is delivered.
+func runExact(mapping *alltoallx.Mapping, tokens, dim, steps int, algo string) {
+	p := mapping.Size()
+	slot := 8 + dim*8
+	// Collective worst-case ceiling: every token in the system routed to
+	// one expert.
+	maxTotal := p * tokens * slot
+
+	var totalTokens int64
+	start := time.Now()
+	err := alltoallx.RunLive(alltoallx.LiveConfig{Mapping: mapping}, func(c alltoallx.Comm) error {
+		rank := c.Rank()
+		// The count exchange is itself a persistent fixed-size all-to-all:
+		// 8 bytes per rank pair per step.
+		counter, err := alltoallx.New("pairwise", c, 8, alltoallx.Options{})
+		if err != nil {
+			return err
+		}
+		shuffler, err := alltoallx.NewV(algo, c, maxTotal, alltoallx.Options{})
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(int64(rank) + 1))
+		csend, crecv := alltoallx.Alloc(p*8), alltoallx.Alloc(p*8)
+		send := alltoallx.Alloc(tokens * slot)
+		recv := alltoallx.Alloc(maxTotal)
+		back := alltoallx.Alloc(maxTotal)
+		home := alltoallx.Alloc(tokens * slot)
+		for step := 0; step < steps; step++ {
+			// Route: token i goes to expert router(i); no capacity limit.
+			route := make([][]int64, p)
+			for tok := 0; tok < tokens; tok++ {
+				expert := rng.Intn(p)
+				id := int64(rank)*1_000_000 + int64(step)*10_000 + int64(tok)
+				route[expert] = append(route[expert], id)
+			}
+			// Announce counts, then derive both sides' displacements.
+			sc := make([]int, p)
+			for d := 0; d < p; d++ {
+				sc[d] = len(route[d]) * slot
+				putI64(csend.Bytes()[d*8:], int64(sc[d]))
+			}
+			if err := counter.Alltoall(csend, crecv, 8); err != nil {
+				return err
+			}
+			rc := make([]int, p)
+			for s := 0; s < p; s++ {
+				rc[s] = int(getI64(crecv.Bytes()[s*8:]))
+			}
+			sdispls, sTotal := alltoallx.DisplsFromCounts(sc)
+			rdispls, rTotal := alltoallx.DisplsFromCounts(rc)
+			// Pack and ship exactly the routed tokens.
+			for d := 0; d < p; d++ {
+				off := sdispls[d]
+				for _, id := range route[d] {
+					putI64(send.Bytes()[off:], id)
+					for d2 := 0; d2 < dim; d2++ {
+						putF64(send.Bytes()[off+8+d2*8:], float64(id)+float64(d2))
+					}
+					off += slot
+				}
+			}
+			if err := shuffler.Alltoallv(send.Slice(0, sTotal), sc, sdispls,
+				recv.Slice(0, rTotal), rc, rdispls); err != nil {
+				return err
+			}
+			// "Expert computation": verify and negate every delivered token.
+			for src := 0; src < p; src++ {
+				for off := rdispls[src]; off < rdispls[src]+rc[src]; off += slot {
+					id := getI64(recv.Bytes()[off:])
+					if int(id/1_000_000) != src {
+						return fmt.Errorf("rank %d: token %d arrived from wrong source %d", rank, id, src)
+					}
+					putI64(back.Bytes()[off:], id)
+					for d2 := 0; d2 < dim; d2++ {
+						want := float64(id) + float64(d2)
+						if got := getF64(recv.Bytes()[off+8+d2*8:]); got != want {
+							return fmt.Errorf("rank %d: token %d payload corrupt", rank, id)
+						}
+						putF64(back.Bytes()[off+8+d2*8:], -want)
+					}
+					if rank == 0 {
+						totalTokens++
+					}
+				}
+			}
+			// Return trip: counts are simply reversed.
+			if err := shuffler.Alltoallv(back.Slice(0, rTotal), rc, rdispls,
+				home.Slice(0, sTotal), sc, sdispls); err != nil {
+				return err
+			}
+			// Verify every originated token came home negated.
+			for d := 0; d < p; d++ {
+				off := sdispls[d]
+				for _, id := range route[d] {
+					if got := getI64(home.Bytes()[off:]); got != id {
+						return fmt.Errorf("rank %d: token %d came home as %d", rank, id, got)
+					}
+					for d2 := 0; d2 < dim; d2++ {
+						if got := getF64(home.Bytes()[off+8+d2*8:]); got != -(float64(id) + float64(d2)) {
+							return fmt.Errorf("rank %d: returned token %d corrupt", rank, id)
+						}
+					}
+					off += slot
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// Rank 0 counted ~1/p of deliveries; scale to all ranks, two trips.
+	est := totalTokens * int64(p) * 2
+	fmt.Printf("MoE shuffle (exact alltoallv): %d ranks, %d tokens/rank/step, dim %d, %d steps via %s\n",
+		p, tokens, dim, steps, algo)
+	fmt.Printf("  delivered ~%d token-trips in %.1fms (%.2fM tokens/s), 0 dropped (no capacity limit)\n",
+		est, float64(elapsed.Microseconds())/1000, float64(est)/elapsed.Seconds()/1e6)
+	fmt.Println("  verified OK")
+}
+
+// runCapacity is the fixed-size framework-style shuffle: a capacity per
+// rank pair with headroom, overflow dropped.
+func runCapacity(mapping *alltoallx.Mapping, tokens, dim, steps int, algo string) {
 	p := mapping.Size()
 
 	// Capacity per (source, expert) pair, with headroom like real MoE
 	// capacity factors; overflowing tokens are dropped (counted).
-	capacity := (*tokens / p) * 2
+	capacity := (tokens / p) * 2
 	if capacity == 0 {
 		capacity = 1
 	}
 	// Wire format per slot: token id (8 bytes) + payload; a negative id
 	// marks an empty slot.
-	slot := 8 + *dim*8
+	slot := 8 + dim*8
 	block := capacity * slot
 
 	var totalTokens, dropped int64
 	start := time.Now()
-	err = alltoallx.RunLive(alltoallx.LiveConfig{Mapping: mapping}, func(c alltoallx.Comm) error {
+	err := alltoallx.RunLive(alltoallx.LiveConfig{Mapping: mapping}, func(c alltoallx.Comm) error {
 		rank := c.Rank()
-		a, err := alltoallx.New(*algo, c, block, alltoallx.Options{PPL: 2, PPG: 2})
+		a, err := alltoallx.New(algo, c, block, alltoallx.Options{PPL: 2, PPG: 2})
 		if err != nil {
 			return err
 		}
@@ -64,14 +217,14 @@ func main() {
 		recv := alltoallx.Alloc(p * block)
 		back := alltoallx.Alloc(p * block)
 		bref := alltoallx.Alloc(p * block)
-		for step := 0; step < *steps; step++ {
+		for step := 0; step < steps; step++ {
 			// Route: token i of this rank goes to expert router(i).
 			fill := make([]int, p)
 			for i := range send.Bytes() {
 				send.Bytes()[i] = 0
 			}
 			markAllEmpty(send, p, capacity, slot)
-			for tok := 0; tok < *tokens; tok++ {
+			for tok := 0; tok < tokens; tok++ {
 				expert := rng.Intn(p)
 				if fill[expert] >= capacity {
 					if rank == 0 {
@@ -82,7 +235,7 @@ func main() {
 				off := expert*block + fill[expert]*slot
 				id := int64(rank)*1_000_000 + int64(step)*10_000 + int64(tok)
 				putI64(send.Bytes()[off:], id)
-				for d2 := 0; d2 < *dim; d2++ {
+				for d2 := 0; d2 < dim; d2++ {
 					putF64(send.Bytes()[off+8+d2*8:], float64(id)+float64(d2))
 				}
 				fill[expert]++
@@ -103,7 +256,7 @@ func main() {
 					if int(id/1_000_000) != src {
 						return fmt.Errorf("rank %d: token %d arrived from wrong source %d", rank, id, src)
 					}
-					for d2 := 0; d2 < *dim; d2++ {
+					for d2 := 0; d2 < dim; d2++ {
 						want := float64(id) + float64(d2)
 						if got := getF64(recv.Bytes()[off+8+d2*8:]); got != want {
 							return fmt.Errorf("rank %d: token %d payload corrupt", rank, id)
@@ -131,7 +284,7 @@ func main() {
 					if int(id/1_000_000) != rank {
 						return fmt.Errorf("rank %d: foreign token %d returned", rank, id)
 					}
-					for d2 := 0; d2 < *dim; d2++ {
+					for d2 := 0; d2 < dim; d2++ {
 						if got := getF64(bref.Bytes()[off+8+d2*8:]); got != -(float64(id) + float64(d2)) {
 							return fmt.Errorf("rank %d: returned token %d corrupt", rank, id)
 						}
@@ -148,8 +301,8 @@ func main() {
 	// totalTokens was counted by rank 0 only; scale to all ranks for the
 	// throughput estimate (routing is uniform).
 	est := totalTokens * int64(p) * 2 // two trips
-	fmt.Printf("MoE shuffle: %d ranks, %d tokens/rank/step, dim %d, %d steps via %s\n",
-		p, *tokens, *dim, *steps, *algo)
+	fmt.Printf("MoE shuffle (fixed alltoall): %d ranks, %d tokens/rank/step, dim %d, %d steps via %s\n",
+		p, tokens, dim, steps, algo)
 	fmt.Printf("  delivered ~%d token-trips in %.1fms (%.2fM tokens/s), %d dropped at rank 0 (capacity %d)\n",
 		est, float64(elapsed.Microseconds())/1000,
 		float64(est)/elapsed.Seconds()/1e6, dropped, capacity)

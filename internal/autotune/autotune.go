@@ -46,9 +46,26 @@ type Choice struct {
 	Seconds float64
 }
 
-// DefaultCandidates returns the paper's algorithm family with the leader/
-// group sizes it evaluates, restricted to divisors of ppn.
-func DefaultCandidates(ppn int) []Candidate {
+// DefaultCandidates returns the tuning pool for an operation, restricted
+// to divisors of ppn. For OpAlltoall it is the paper's algorithm family
+// with the leader/group sizes it evaluates; for OpAlltoallv it is the
+// flat baselines plus the leader-aggregating variants.
+func DefaultCandidates(op core.Op, ppn int) []Candidate {
+	if op.Norm() == core.OpAlltoallv {
+		cands := []Candidate{
+			{Name: "pairwise", Algo: "pairwise"},
+			{Name: "nonblocking", Algo: "nonblocking"},
+			{Name: "node-aware", Algo: "node-aware"},
+		}
+		for _, q := range []int{4, 8, 16} {
+			if q < ppn && ppn%q == 0 {
+				cands = append(cands,
+					Candidate{Name: fmt.Sprintf("locality-aware/%dppg", q), Algo: "locality-aware", Opts: core.Options{PPG: q}},
+				)
+			}
+		}
+		return cands
+	}
 	cands := []Candidate{
 		{Name: "bruck", Algo: "bruck"},
 		{Name: "hierarchical", Algo: "hierarchical"},
@@ -66,16 +83,18 @@ func DefaultCandidates(ppn int) []Candidate {
 	return cands
 }
 
-// Select evaluates every candidate for one configuration and returns the
-// winner plus the full ranking (fastest first).
-func Select(m netmodel.Params, nodes, ppn, block int, cands []Candidate, runs int, seed int64) (Choice, []Choice, error) {
+// Select evaluates every candidate for one (operation, configuration) and
+// returns the winner plus the full ranking (fastest first). For
+// OpAlltoallv, block is the mean payload per peer of the benchmark's
+// skewed count matrix.
+func Select(m netmodel.Params, op core.Op, nodes, ppn, block int, cands []Candidate, runs int, seed int64) (Choice, []Choice, error) {
 	if len(cands) == 0 {
 		return Choice{}, nil, fmt.Errorf("autotune: no candidates")
 	}
 	ranking := make([]Choice, 0, len(cands))
 	for _, cand := range cands {
 		pt, err := bench.Measure(bench.Config{
-			Machine: m, Nodes: nodes, PPN: ppn,
+			Machine: m, Nodes: nodes, PPN: ppn, Op: op,
 			Algo: cand.Algo, Opts: cand.Opts, Block: block,
 			Runs: runs, BaseSeed: seed,
 		})
@@ -89,19 +108,20 @@ func Select(m netmodel.Params, nodes, ppn, block int, cands []Candidate, runs in
 }
 
 // BuildTable selects the winner at every size and assembles the results
-// into a persistable dispatch Table for the (machine, nodes, ppn) world.
-func BuildTable(m netmodel.Params, nodes, ppn int, sizes []int, cands []Candidate, runs int, seed int64) (*Table, error) {
+// into a persistable dispatch Table for the (machine, nodes, ppn, op)
+// world.
+func BuildTable(m netmodel.Params, op core.Op, nodes, ppn int, sizes []int, cands []Candidate, runs int, seed int64) (*Table, error) {
 	if len(sizes) == 0 {
 		return nil, fmt.Errorf("autotune: no sizes")
 	}
 	sorted := append([]int(nil), sizes...)
 	sort.Ints(sorted)
-	t := &Table{Version: TableVersion, Machine: m.Name, Nodes: nodes, PPN: ppn}
+	t := &Table{Version: TableVersion, Machine: m.Name, Nodes: nodes, PPN: ppn, Op: op.Norm()}
 	for i, s := range sorted {
 		if s <= 0 || (i > 0 && s == sorted[i-1]) {
 			return nil, fmt.Errorf("autotune: sizes must be positive and distinct, got %v", sizes)
 		}
-		best, _, err := Select(m, nodes, ppn, s, cands, runs, seed)
+		best, _, err := Select(m, op, nodes, ppn, s, cands, runs, seed)
 		if err != nil {
 			return nil, err
 		}

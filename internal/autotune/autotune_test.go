@@ -17,11 +17,11 @@ func tinyDane() netmodel.Params {
 
 func TestDefaultCandidates(t *testing.T) {
 	t.Parallel()
-	cands := DefaultCandidates(112)
+	cands := DefaultCandidates(core.OpAlltoall, 112)
 	if len(cands) != 3+3*3 {
 		t.Fatalf("candidate count = %d", len(cands))
 	}
-	cands8 := DefaultCandidates(8)
+	cands8 := DefaultCandidates(core.OpAlltoall, 8)
 	for _, c := range cands8 {
 		if c.Opts.PPL > 8 || c.Opts.PPG > 8 {
 			t.Errorf("candidate %s exceeds ppn", c.Label())
@@ -37,7 +37,7 @@ func TestSelectRanksCandidates(t *testing.T) {
 		{Name: "hierarchical", Algo: "hierarchical"},
 		{Name: "mlna", Algo: "multileader-node-aware", Opts: core.Options{PPL: 2}},
 	}
-	best, ranking, err := Select(m, 4, 8, 512, cands, 1, 1)
+	best, ranking, err := Select(m, core.OpAlltoall, 4, 8, 512, cands, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,11 +60,11 @@ func TestSelectRanksCandidates(t *testing.T) {
 func TestSelectErrors(t *testing.T) {
 	t.Parallel()
 	m := tinyDane()
-	if _, _, err := Select(m, 2, 8, 64, nil, 1, 1); err == nil {
+	if _, _, err := Select(m, core.OpAlltoall, 2, 8, 64, nil, 1, 1); err == nil {
 		t.Error("empty candidates accepted")
 	}
 	bad := []Candidate{{Algo: "no-such"}}
-	if _, _, err := Select(m, 2, 8, 64, bad, 1, 1); err == nil {
+	if _, _, err := Select(m, core.OpAlltoall, 2, 8, 64, bad, 1, 1); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
 }
@@ -76,7 +76,7 @@ func TestBuildTableAndPick(t *testing.T) {
 		{Name: "node-aware", Algo: "node-aware"},
 		{Name: "mlna", Algo: "multileader-node-aware", Opts: core.Options{PPL: 2}},
 	}
-	tbl, err := BuildTable(m, 4, 8, []int{1024, 16}, cands, 1, 1)
+	tbl, err := BuildTable(m, core.OpAlltoall, 4, 8, []int{1024, 16}, cands, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,10 +99,10 @@ func TestBuildTableAndPick(t *testing.T) {
 	if got := tbl.Pick(1 << 20); got.Name != tbl.Entries[1].Name {
 		t.Errorf("Pick(big) = %v", got.Name)
 	}
-	if _, err := BuildTable(m, 4, 8, nil, cands, 1, 1); err == nil {
+	if _, err := BuildTable(m, core.OpAlltoall, 4, 8, nil, cands, 1, 1); err == nil {
 		t.Error("empty sizes accepted")
 	}
-	if _, err := BuildTable(m, 4, 8, []int{16, 16}, cands, 1, 1); err == nil {
+	if _, err := BuildTable(m, core.OpAlltoall, 4, 8, []int{16, 16}, cands, 1, 1); err == nil {
 		t.Error("duplicate sizes accepted")
 	}
 }

@@ -49,6 +49,11 @@ type Table struct {
 	Machine string `json:"machine"`
 	Nodes   int    `json:"nodes"`
 	PPN     int    `json:"ppn"`
+	// Op is the collective the table was tuned for: core.OpAlltoall or
+	// core.OpAlltoallv. Absent (pre-op-kind tables) means alltoall. For
+	// alltoallv tables, Size is the mean payload per peer (total bytes
+	// sent by a rank divided by the rank count).
+	Op core.Op `json:"op,omitempty"`
 	// Entries are the per-size winners, ascending in Size.
 	Entries []Entry `json:"entries"`
 }
@@ -102,15 +107,17 @@ func (t *Table) Pick(block int) Entry {
 // Dispatch converts the table into the run-time spec core's "tuned"
 // algorithm executes: pass it via core.Options.Table (or use Options).
 func (t *Table) Dispatch() *core.Dispatch {
-	d := &core.Dispatch{Entries: make([]core.DispatchEntry, len(t.Entries))}
+	d := &core.Dispatch{Op: t.Op.Norm(), Entries: make([]core.DispatchEntry, len(t.Entries))}
 	for i, e := range t.Entries {
 		d.Entries[i] = core.DispatchEntry{MaxBlock: e.Size, Name: e.Name, Algo: e.Algo, Opts: e.Opts}
 	}
 	return d
 }
 
-// Options returns construction options for the "tuned" algorithm backed by
-// this table: core.New("tuned", c, maxBlock, t.Options()).
+// Options returns construction options for the "tuned" algorithm backed
+// by this table: core.New("tuned", c, maxBlock, t.Options()) for alltoall
+// tables, core.NewV("tuned", c, maxTotal, t.Options()) for alltoallv
+// tables.
 func (t *Table) Options() core.Options {
 	return core.Options{Table: t.Dispatch()}
 }

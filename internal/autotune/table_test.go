@@ -1,6 +1,7 @@
 package autotune
 
 import (
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -10,7 +11,9 @@ import (
 
 	"alltoallx/internal/comm"
 	"alltoallx/internal/core"
+	"alltoallx/internal/runtime"
 	"alltoallx/internal/sim"
+	"alltoallx/internal/topo"
 )
 
 // buildTestTable tunes a small world with two candidates; tests share it
@@ -21,7 +24,7 @@ func buildTestTable(t *testing.T, sizes []int) *Table {
 		{Name: "node-aware", Algo: "node-aware"},
 		{Name: "mlna", Algo: "multileader-node-aware", Opts: core.Options{PPL: 2}},
 	}
-	tbl, err := BuildTable(tinyDane(), 4, 8, sizes, cands, 1, 1)
+	tbl, err := BuildTable(tinyDane(), core.OpAlltoall, 4, 8, sizes, cands, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +144,7 @@ func TestTunedDispatchMatchesRanking(t *testing.T) {
 		{Name: "bruck", Algo: "bruck"},
 	}
 	sizes := []int{8, 128, 2048}
-	tbl, err := BuildTable(m, nodes, ppn, sizes, cands, 1, 1)
+	tbl, err := BuildTable(m, core.OpAlltoall, nodes, ppn, sizes, cands, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +159,7 @@ func TestTunedDispatchMatchesRanking(t *testing.T) {
 	}
 
 	for _, s := range sizes {
-		want, _, err := Select(m, nodes, ppn, s, cands, 1, 1)
+		want, _, err := Select(m, core.OpAlltoall, nodes, ppn, s, cands, 1, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -213,5 +216,58 @@ func TestSizeGrid(t *testing.T) {
 		if v <= 0 {
 			t.Fatalf("overflowed entry %d in %v", v, huge)
 		}
+	}
+}
+
+// TestVTableRoundTrip: an alltoallv table preserves its op kind through
+// Save/Load, converts to an OpAlltoallv dispatch spec, and drives the
+// tuned v-dispatcher (while being rejected by the fixed-size one).
+func TestVTableRoundTrip(t *testing.T) {
+	t.Parallel()
+	cands := []Candidate{
+		{Name: "pairwise", Algo: "pairwise"},
+		{Name: "node-aware", Algo: "node-aware"},
+	}
+	tbl, err := BuildTable(tinyDane(), core.OpAlltoallv, 2, 8, []int{16, 256}, cands, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Op != core.OpAlltoallv {
+		t.Fatalf("table op = %q", tbl.Op)
+	}
+	path := filepath.Join(t.TempDir(), "vtable.json")
+	if err := tbl.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Op != core.OpAlltoallv {
+		t.Fatalf("loaded op = %q", loaded.Op)
+	}
+	d := loaded.Dispatch()
+	if d.Op != core.OpAlltoallv {
+		t.Fatalf("dispatch op = %q", d.Op)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A v-table must not drive the fixed-size dispatcher.
+	m, err := topo.NewMapping(topo.Spec{Sockets: 2, NumaPerSocket: 2, CoresPerNuma: 2}, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = runtime.Run(runtime.Config{Mapping: m}, func(c comm.Comm) error {
+		if _, err := core.New("tuned", c, 64, loaded.Options()); err == nil {
+			return fmt.Errorf("fixed-size tuned accepted an alltoallv table")
+		}
+		if _, err := core.NewV("tuned", c, 4096, loaded.Options()); err != nil {
+			return fmt.Errorf("tuned alltoallv rejected its own table: %w", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }

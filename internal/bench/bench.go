@@ -39,9 +39,14 @@ type Config struct {
 	Machine netmodel.Params
 	Nodes   int
 	PPN     int
-	Algo    string
-	Opts    core.Options
-	Block   int
+	// Op selects the measured collective: core.OpAlltoall (default) times
+	// a fixed-size exchange of Block bytes per rank pair; core.OpAlltoallv
+	// times a skewed variable-size exchange (ZipfCounts) whose mean
+	// payload per peer is Block.
+	Op    core.Op
+	Algo  string
+	Opts  core.Options
+	Block int
 	// Runs is the number of seeded repetitions (paper: 3).
 	Runs int
 	// BaseSeed offsets the noise seeds; runs use BaseSeed+1..BaseSeed+Runs.
@@ -51,8 +56,8 @@ type Config struct {
 // Key returns a map key identifying the simulation (used to share runs
 // between series that read different phases of the same algorithm).
 func (c Config) Key() string {
-	return fmt.Sprintf("%s|%d|%d|%s|%s|%d|%d|%d|%d|%d|%v|%s",
-		c.Machine.Name, c.Nodes, c.PPN, c.Algo, c.Opts.Inner,
+	return fmt.Sprintf("%s|%d|%d|%s|%s|%s|%d|%d|%d|%d|%d|%v|%s",
+		c.Machine.Name, c.Nodes, c.PPN, c.Op.Norm(), c.Algo, c.Opts.Inner,
 		c.Opts.PPL, c.Opts.PPG, c.Opts.BatchWindow, c.Block, c.Runs, c.Opts.GatherKind,
 		c.Opts.Table.Fingerprint())
 }
@@ -75,6 +80,12 @@ func Measure(cfg Config) (Point, error) {
 	}
 	best := Point{Seconds: -1}
 	p := cfg.Nodes * cfg.PPN
+	var vcounts [][]int
+	var vMax int
+	if cfg.Op.Norm() == core.OpAlltoallv {
+		vcounts = ZipfCounts(p, cfg.Block)
+		vMax = MaxTotal(vcounts)
+	}
 	for run := 0; run < cfg.Runs; run++ {
 		durations := make([]float64, p)
 		snaps := make([]map[trace.Phase]float64, p)
@@ -82,7 +93,7 @@ func Measure(cfg Config) (Point, error) {
 			Model: cfg.Machine, Nodes: cfg.Nodes, PPN: cfg.PPN,
 			Seed: cfg.BaseSeed + int64(run) + 1, OverheadScale: scale,
 		}
-		stats, err := sim.RunCluster(cc, func(c comm.Comm) error {
+		body := func(c comm.Comm) error {
 			a, err := core.New(cfg.Algo, c, cfg.Block, opts)
 			if err != nil {
 				return err
@@ -99,10 +110,39 @@ func Measure(cfg Config) (Point, error) {
 			durations[c.Rank()] = c.Now() - t0
 			snaps[c.Rank()] = a.Phases()
 			return nil
-		})
+		}
+		if vcounts != nil {
+			body = func(c comm.Comm) error {
+				a, err := core.NewV(cfg.Algo, c, vMax, opts)
+				if err != nil {
+					return err
+				}
+				r := c.Rank()
+				sc := vcounts[r]
+				rc := make([]int, p)
+				for s := 0; s < p; s++ {
+					rc[s] = vcounts[s][r]
+				}
+				sdispls, sTotal := core.DisplsFromCounts(sc)
+				rdispls, rTotal := core.DisplsFromCounts(rc)
+				send := comm.Virtual(sTotal)
+				recv := comm.Virtual(rTotal)
+				if err := c.Barrier(); err != nil {
+					return err
+				}
+				t0 := c.Now()
+				if err := a.Alltoallv(send, sc, sdispls, recv, rc, rdispls); err != nil {
+					return err
+				}
+				durations[r] = c.Now() - t0
+				snaps[r] = a.Phases()
+				return nil
+			}
+		}
+		stats, err := sim.RunCluster(cc, body)
 		if err != nil {
-			return Point{}, fmt.Errorf("bench: %s nodes=%d ppn=%d block=%d run=%d: %w",
-				cfg.Algo, cfg.Nodes, cfg.PPN, cfg.Block, run, err)
+			return Point{}, fmt.Errorf("bench: %s %s nodes=%d ppn=%d block=%d run=%d: %w",
+				cfg.Op.Norm(), cfg.Algo, cfg.Nodes, cfg.PPN, cfg.Block, run, err)
 		}
 		d := maxOf(durations)
 		if best.Seconds < 0 || d < best.Seconds {

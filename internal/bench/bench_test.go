@@ -77,8 +77,8 @@ func TestMeasureErrors(t *testing.T) {
 func TestExperimentRegistry(t *testing.T) {
 	t.Parallel()
 	exps := Experiments()
-	if len(exps) != 12 {
-		t.Fatalf("expected 12 figures (fig7..fig18), got %d", len(exps))
+	if len(exps) != 13 {
+		t.Fatalf("expected 13 experiments (fig7..fig18 + alltoallv), got %d", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -249,5 +249,73 @@ func TestPointConfigXAxes(t *testing.T) {
 	exp = Experiment{XAxis: XSize}
 	if _, err := pointConfig(exp, s, m, 4, 8, 0); err == nil {
 		t.Error("unresolved block accepted")
+	}
+}
+
+// TestZipfCounts: the skewed count matrix is deterministic, exactly
+// row-normalized to p*mean, and actually skewed.
+func TestZipfCounts(t *testing.T) {
+	t.Parallel()
+	const p, mean = 16, 64
+	a := ZipfCounts(p, mean)
+	b := ZipfCounts(p, mean)
+	maxC, minC := 0, 1<<30
+	for s := 0; s < p; s++ {
+		total := 0
+		for d := 0; d < p; d++ {
+			if a[s][d] != b[s][d] {
+				t.Fatalf("counts not deterministic at [%d][%d]", s, d)
+			}
+			if a[s][d] < 0 {
+				t.Fatalf("negative count at [%d][%d]", s, d)
+			}
+			if a[s][d] > maxC {
+				maxC = a[s][d]
+			}
+			if a[s][d] < minC {
+				minC = a[s][d]
+			}
+			total += a[s][d]
+		}
+		if total != p*mean {
+			t.Fatalf("row %d total %d, want %d", s, total, p*mean)
+		}
+	}
+	if maxC <= mean {
+		t.Fatalf("no skew: max count %d <= mean %d", maxC, mean)
+	}
+	if mt := MaxTotal(a); mt < p*mean {
+		t.Fatalf("MaxTotal %d below row total %d", mt, p*mean)
+	}
+}
+
+// TestMeasureAlltoallv: the v-measurement path runs every v-algorithm on
+// the simulator and produces positive timings that differ across
+// algorithms (i.e. the op kind is actually honored).
+func TestMeasureAlltoallv(t *testing.T) {
+	t.Parallel()
+	secs := map[string]float64{}
+	for _, algo := range []string{"pairwise", "node-aware"} {
+		pt, err := Measure(Config{
+			Machine: tinyDane(), Nodes: 2, PPN: 8,
+			Op: core.OpAlltoallv, Algo: algo, Block: 32, Runs: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt.Seconds <= 0 {
+			t.Fatalf("%s: non-positive duration %v", algo, pt.Seconds)
+		}
+		secs[algo] = pt.Seconds
+	}
+	if secs["pairwise"] == secs["node-aware"] {
+		t.Fatalf("identical timings %v: op kind likely ignored", secs)
+	}
+	// Fixed-size and variable-size measurements of the same shape must
+	// cache under different keys.
+	k1 := Config{Machine: tinyDane(), Nodes: 2, PPN: 8, Algo: "pairwise", Block: 32, Runs: 1}.Key()
+	k2 := Config{Machine: tinyDane(), Nodes: 2, PPN: 8, Op: core.OpAlltoallv, Algo: "pairwise", Block: 32, Runs: 1}.Key()
+	if k1 == k2 {
+		t.Fatal("cache keys collide across op kinds")
 	}
 }

@@ -159,7 +159,7 @@ func sweepValues(exp Experiment, scale Scale, ppn int) []int {
 // pointConfig resolves one (experiment, series, x) into a measurement
 // config.
 func pointConfig(exp Experiment, s Series, machine netmodel.Params, nodes, ppn, x int) (Config, error) {
-	cfg := Config{Machine: machine, Nodes: nodes, PPN: ppn, Algo: s.Algo, Opts: s.Opts, Block: exp.Block}
+	cfg := Config{Machine: machine, Nodes: nodes, PPN: ppn, Op: exp.Op, Algo: s.Algo, Opts: s.Opts, Block: exp.Block}
 	switch exp.XAxis {
 	case XSize:
 		cfg.Block = x

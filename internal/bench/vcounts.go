@@ -1,0 +1,67 @@
+package bench
+
+import "math/rand"
+
+// vCountSeed fixes the Zipf stream of the alltoallv scenario: counts are
+// part of the workload definition, not the measurement noise, so every
+// run (and every candidate in an autotune sweep) sees the identical
+// skewed matrix.
+const vCountSeed = 42
+
+// ZipfCounts builds the deterministic p x p count matrix of the skewed
+// alltoallv scenario: counts[s][d] is the byte count rank s sends rank d.
+// Each row draws Zipf-distributed weights (a few heavy destinations, a
+// long tail of light ones — the shape of MoE token routing and graph
+// exchanges) and is then scaled so every rank sends exactly p*mean bytes,
+// keeping the total traffic of an alltoallv point comparable to the
+// fixed-size point of the same block size.
+func ZipfCounts(p, mean int) [][]int {
+	rng := rand.New(rand.NewSource(vCountSeed))
+	zipf := rand.NewZipf(rng, 1.4, 1, 1<<20)
+	counts := make([][]int, p)
+	for s := range counts {
+		weights := make([]int, p)
+		sum := 0
+		for d := range weights {
+			weights[d] = int(zipf.Uint64()) + 1
+			sum += weights[d]
+		}
+		// Scale the row to exactly p*mean bytes; the integer-division
+		// remainder (< p bytes) is spread round-robin from destination 0.
+		total := p * mean
+		row := make([]int, p)
+		got := 0
+		for d := range row {
+			row[d] = weights[d] * total / sum
+			got += row[d]
+		}
+		for d := 0; got < total; d = (d + 1) % p {
+			row[d]++
+			got++
+		}
+		counts[s] = row
+	}
+	return counts
+}
+
+// MaxTotal returns the collective maxTotal for a count matrix: the
+// largest send or receive total of any rank — the value every rank must
+// pass to core.NewV.
+func MaxTotal(counts [][]int) int {
+	max := 1
+	p := len(counts)
+	for r := 0; r < p; r++ {
+		st, rt := 0, 0
+		for i := 0; i < p; i++ {
+			st += counts[r][i]
+			rt += counts[i][r]
+		}
+		if st > max {
+			max = st
+		}
+		if rt > max {
+			max = rt
+		}
+	}
+	return max
+}

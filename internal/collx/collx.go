@@ -3,11 +3,17 @@
 // (allgather, broadcast, etc.) and AI critical collectives (allreduce,
 // reduce-scatter, etc.)".
 //
-// It provides flat baselines — ring and Bruck allgather, recursive-doubling
-// allreduce, pairwise reduce-scatter — and a persistent NodeAware object
-// that applies the paper's aggregation idea to allgather, allreduce and
-// broadcast: do the inter-node part once per node via leaders, keep
-// everything else inside the node.
+// Every collective follows the same persistent-operation pattern as the
+// all-to-all family in internal/core: a registry of named algorithms, a
+// collective constructor (NewAllgather, NewAllreduce, NewReduceScatter)
+// that performs all communicator splitting during setup, core.Options for
+// configuration, and Phases() for per-call timing. The registered
+// node-aware variants apply the paper's aggregation idea — do the
+// inter-node part once per node via leaders, keep everything else inside
+// the node — while ring/bruck allgather, recursive-doubling allreduce and
+// pairwise reduce-scatter are the flat baselines. The free functions in
+// this file are the underlying one-shot exchanges; library users should
+// prefer the registry constructors.
 package collx
 
 import (

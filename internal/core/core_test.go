@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"alltoallx/internal/coll"
@@ -314,5 +315,50 @@ func TestNames(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("Names()[%d] = %q, want %q", i, got[i], want[i])
 		}
+	}
+}
+
+// TestDivisibilityErrorsNameOption: a PPL/PPG that does not divide the
+// node's rank count must fail construction with an error naming the
+// offending Options field and the node shape (so a user can fix the
+// right knob without reading the source).
+func TestDivisibilityErrorsNameOption(t *testing.T) {
+	t.Parallel()
+	m, err := topo.NewMapping(tinyNode(), 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		algo string
+		opts Options
+		want []string
+	}{
+		{"multileader", Options{PPL: 3}, []string{"Options.PPL=3", "2 nodes x 8 ranks/node", "1 2 4 8"}},
+		{"multileader", Options{PPL: 16}, []string{"Options.PPL=16", "8 ranks per node"}},
+		{"multileader", Options{PPL: -2}, []string{"Options.PPL=-2"}},
+		{"locality-aware", Options{PPG: 5}, []string{"Options.PPG=5", "2 nodes x 8 ranks/node"}},
+		{"multileader-node-aware", Options{PPL: 6}, []string{"Options.PPL=6"}},
+	}
+	err = runtime.Run(runtime.Config{Mapping: m}, func(c comm.Comm) error {
+		for _, tc := range cases {
+			_, err := New(tc.algo, c, 8, tc.opts)
+			if err == nil {
+				return fmt.Errorf("%s with %+v: accepted", tc.algo, tc.opts)
+			}
+			for _, frag := range tc.want {
+				if !strings.Contains(err.Error(), frag) {
+					return fmt.Errorf("%s with %+v: error %q does not mention %q", tc.algo, tc.opts, err, frag)
+				}
+			}
+		}
+		// The v-registry reports through the same path.
+		if _, err := NewV("locality-aware", c, 8, Options{PPG: 7}); err == nil ||
+			!strings.Contains(err.Error(), "Options.PPG=7") {
+			return fmt.Errorf("NewV locality-aware PPG=7: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }

@@ -38,15 +38,28 @@ func getWorldInfo(c comm.Comm) (worldInfo, error) {
 	}, nil
 }
 
-// checkDivides validates a leader/group size against the node's rank count.
-func checkDivides(what string, q, ppn int) error {
-	if q <= 0 || q > ppn {
-		return fmt.Errorf("core: %s %d out of range 1..%d", what, q, ppn)
-	}
-	if ppn%q != 0 {
-		return fmt.Errorf("core: %s %d must divide ranks-per-node %d", what, q, ppn)
+// checkDivides validates a leader/group size against the node's rank
+// count. option is the Options field the value came from ("PPL", "PPG",
+// or "PPN" for whole-node group sizes), so construction errors name both
+// the offending option and the node shape they conflict with.
+func checkDivides(option string, q int, info worldInfo) error {
+	if q <= 0 || q > info.ppn || info.ppn%q != 0 {
+		return fmt.Errorf("core: Options.%s=%d invalid for this world (%d nodes x %d ranks/node): it must divide the %d ranks per node (valid values: %v)",
+			option, q, info.nnodes, info.ppn, info.ppn, divisorsOf(info.ppn))
 	}
 	return nil
+}
+
+// divisorsOf returns n's divisors ascending — the valid leader/group
+// sizes for an n-rank node, listed in checkDivides errors.
+func divisorsOf(n int) []int {
+	var out []int
+	for d := 1; d <= n; d++ {
+		if n%d == 0 {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // hierarchical implements Algorithm 3: gather each leader group's data to
@@ -81,13 +94,13 @@ func newHierarchical(c comm.Comm, maxBlock int, o Options, hier bool) (Alltoalle
 	if err != nil {
 		return nil, err
 	}
-	name := "multileader"
+	name, opt := "multileader", "PPL"
 	q := o.PPL
 	if hier {
-		name = "hierarchical"
+		name, opt = "hierarchical", "PPN"
 		q = info.ppn // exactly one leader per node
 	}
-	if err := checkDivides("processes-per-leader", q, info.ppn); err != nil {
+	if err := checkDivides(opt, q, info); err != nil {
 		return nil, err
 	}
 	h := &hierarchical{

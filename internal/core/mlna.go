@@ -42,7 +42,7 @@ func newMultileaderNodeAware(c comm.Comm, maxBlock int, o Options) (Alltoaller, 
 	if err != nil {
 		return nil, err
 	}
-	if err := checkDivides("processes-per-leader", o.PPL, info.ppn); err != nil {
+	if err := checkDivides("PPL", o.PPL, info); err != nil {
 		return nil, err
 	}
 	m := &mlNodeAware{

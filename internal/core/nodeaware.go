@@ -41,13 +41,13 @@ func newNodeAware(c comm.Comm, maxBlock int, o Options, whole bool) (Alltoaller,
 	if err != nil {
 		return nil, err
 	}
-	name := "locality-aware"
+	name, opt := "locality-aware", "PPG"
 	g := o.PPG
 	if whole {
-		name = "node-aware"
+		name, opt = "node-aware", "PPN"
 		g = info.ppn
 	}
-	if err := checkDivides("processes-per-group", g, info.ppn); err != nil {
+	if err := checkDivides(opt, g, info); err != nil {
 		return nil, err
 	}
 	na := &nodeAware{

@@ -8,10 +8,35 @@ import (
 	"alltoallx/internal/trace"
 )
 
+// Op names the collective operation a dispatch spec (or autotune table)
+// was tuned for. The zero value means OpAlltoall, keeping pre-op-kind
+// tables loadable.
+type Op string
+
+// Tunable operation kinds.
+const (
+	// OpAlltoall is the fixed-size all-to-all (Alltoaller / New).
+	OpAlltoall Op = "alltoall"
+	// OpAlltoallv is the variable-sized all-to-all (Alltoallver / NewV).
+	OpAlltoallv Op = "alltoallv"
+)
+
+// Norm maps the zero value to OpAlltoall; any other value is returned
+// unchanged (Validate rejects unknown kinds).
+func (o Op) Norm() Op {
+	if o == "" {
+		return OpAlltoall
+	}
+	return o
+}
+
 // DispatchEntry is one size bucket of a Dispatch spec: blocks of at most
 // MaxBlock bytes run Algo constructed with Opts. Name labels the entry in
 // diagnostics (it defaults to Algo); autotune carries its candidate labels
 // here so "multileader/4ppl" and "multileader/8ppl" stay distinguishable.
+// For OpAlltoallv specs, MaxBlock is the mean payload per peer (total
+// bytes sent by a rank divided by the rank count) — the v-dispatcher
+// buckets each call's total payload against MaxBlock*p.
 type DispatchEntry struct {
 	MaxBlock int
 	Name     string
@@ -33,20 +58,28 @@ func (e DispatchEntry) label() string {
 // than the last bucket use the last bucket (the autotuner's large-message
 // winner).
 type Dispatch struct {
+	// Op is the operation the spec was tuned for (zero means OpAlltoall).
+	// A spec only dispatches through the matching constructor: New for
+	// OpAlltoall, NewV for OpAlltoallv.
+	Op      Op
 	Entries []DispatchEntry
 }
 
-// Validate checks that the spec is dispatchable: at least one entry,
-// strictly ascending positive MaxBlock boundaries, and every Algo
-// registered. Two registered names are still rejected: "tuned" itself
-// (which would recurse) and "system-mpi" (its vendor OverheadScale is
-// applied by the bench harness keyed on the top-level algorithm name, so
-// a dispatched system-mpi bucket would run without the scaling that won
-// it the ranking — the emulation is a baseline to beat, not a winner to
-// dispatch).
+// Validate checks that the spec is dispatchable: a known op kind, at
+// least one entry, strictly ascending positive MaxBlock boundaries, and
+// every Algo registered for the spec's op. Two registered names are still
+// rejected: "tuned" itself (which would recurse) and "system-mpi" (its
+// vendor OverheadScale is applied by the bench harness keyed on the
+// top-level algorithm name, so a dispatched system-mpi bucket would run
+// without the scaling that won it the ranking — the emulation is a
+// baseline to beat, not a winner to dispatch).
 func (d *Dispatch) Validate() error {
 	if d == nil || len(d.Entries) == 0 {
 		return fmt.Errorf("core: empty dispatch spec")
+	}
+	op := d.Op.Norm()
+	if op != OpAlltoall && op != OpAlltoallv {
+		return fmt.Errorf("core: dispatch spec has unknown op %q (want %q or %q)", d.Op, OpAlltoall, OpAlltoallv)
 	}
 	prev := 0
 	for i, e := range d.Entries {
@@ -60,7 +93,11 @@ func (d *Dispatch) Validate() error {
 		if e.Algo == "system-mpi" {
 			return fmt.Errorf("core: dispatch entry %d: %q cannot be a tabled winner (its vendor overhead scaling is applied per top-level algorithm and would be lost under dispatch)", i, e.Algo)
 		}
-		if _, ok := registry[e.Algo]; !ok {
+		if op == OpAlltoallv {
+			if _, ok := vRegistry[e.Algo]; !ok {
+				return fmt.Errorf("core: dispatch entry %d: unknown %s algorithm %q (have %v)", i, OpAlltoallv, e.Algo, NamesV())
+			}
+		} else if _, ok := registry[e.Algo]; !ok {
 			return fmt.Errorf("core: dispatch entry %d: unknown algorithm %q (have %v)", i, e.Algo, Names())
 		}
 	}
@@ -73,10 +110,11 @@ func (d *Dispatch) Fingerprint() string {
 	if d == nil {
 		return ""
 	}
-	parts := make([]string, len(d.Entries))
-	for i, e := range d.Entries {
-		parts[i] = fmt.Sprintf("%d:%s:%s:%d:%d:%d:%v:%+v",
-			e.MaxBlock, e.Algo, e.Opts.Inner, e.Opts.PPL, e.Opts.PPG, e.Opts.BatchWindow, e.Opts.GatherKind, e.Opts.Sys)
+	parts := make([]string, 0, len(d.Entries)+1)
+	parts = append(parts, string(d.Op.Norm()))
+	for _, e := range d.Entries {
+		parts = append(parts, fmt.Sprintf("%d:%s:%s:%d:%d:%d:%v:%+v",
+			e.MaxBlock, e.Algo, e.Opts.Inner, e.Opts.PPL, e.Opts.PPG, e.Opts.BatchWindow, e.Opts.GatherKind, e.Opts.Sys))
 	}
 	return strings.Join(parts, ",")
 }
@@ -109,6 +147,9 @@ func newTuned(c comm.Comm, maxBlock int, o Options) (Alltoaller, error) {
 	if err := o.Table.Validate(); err != nil {
 		return nil, err
 	}
+	if op := o.Table.Op.Norm(); op != OpAlltoall {
+		return nil, fmt.Errorf("core: dispatch spec tuned for %q cannot drive the fixed-size %q algorithm (use NewV)", op, algoTuned)
+	}
 	return &tuned{
 		c:        c,
 		maxBlock: maxBlock,
@@ -120,38 +161,45 @@ func newTuned(c comm.Comm, maxBlock int, o Options) (Alltoaller, error) {
 
 func (t *tuned) Name() string { return algoTuned }
 
-// bucket returns the entry index that should serve a block: the nominal
-// bucket (smallest MaxBlock >= block, or the last entry), adjusted by
-// hysteresis against the previously used bucket.
+// bucket returns the entry index that should serve a block.
 func (t *tuned) bucket(block int) int {
-	entries := t.spec.Entries
+	return dispatchBucket(t.spec.Entries, float64(block), t.last)
+}
+
+// dispatchBucket returns the entry index that should serve a size: the
+// nominal bucket (smallest MaxBlock >= size, or the last entry), adjusted
+// by hysteresis against the previously used bucket (last; -1 before any
+// call). It is shared by the fixed-size dispatcher (size = block bytes)
+// and the v-dispatcher (size = mean payload per peer, possibly
+// fractional — hence the float).
+func dispatchBucket(entries []DispatchEntry, size float64, last int) int {
 	nominal := len(entries) - 1
 	for i, e := range entries {
-		if block <= e.MaxBlock {
+		if size <= float64(e.MaxBlock) {
 			nominal = i
 			break
 		}
 	}
-	if t.last < 0 {
+	if last < 0 {
 		return nominal
 	}
-	// Hysteresis only damps oscillation across one boundary: a block that
+	// Hysteresis only damps oscillation across one boundary: a size that
 	// lands two or more buckets away is no borderline case and switches
 	// unconditionally.
 	switch nominal {
-	case t.last + 1:
+	case last + 1:
 		// Growing past the upper boundary of the last bucket: stay until
-		// the block clearly exceeds it.
-		bound := float64(entries[t.last].MaxBlock)
-		if float64(block) <= bound*(1+tunedHysteresis) {
-			return t.last
+		// the size clearly exceeds it.
+		bound := float64(entries[last].MaxBlock)
+		if size <= bound*(1+tunedHysteresis) {
+			return last
 		}
-	case t.last - 1:
+	case last - 1:
 		// Shrinking below the lower boundary of the last bucket: stay
-		// until the block is clearly inside the smaller bucket.
-		bound := float64(entries[t.last-1].MaxBlock)
-		if float64(block) > bound*(1-tunedHysteresis) {
-			return t.last
+		// until the size is clearly inside the smaller bucket.
+		bound := float64(entries[last-1].MaxBlock)
+		if size > bound*(1-tunedHysteresis) {
+			return last
 		}
 	}
 	return nominal
