@@ -45,10 +45,32 @@
 // Both all-to-all registries include a "tuned" meta-algorithm driven by a
 // persisted autotune table (cmd/a2atune -op alltoall|alltoallv); the
 // one-shot free functions (Alltoallv, AllgatherRing, ...) remain as
-// deprecated shims over the same implementations. DisplsFromCounts is the
-// packing helper for variable-sized calls: it turns per-peer byte counts
-// into contiguous displacements plus the total buffer length
-// (AlltoallvCounts is its deprecated former name).
+// deprecated shims over the same implementations — see deprecated.go for
+// the full shim-to-replacement table. DisplsFromCounts is the packing
+// helper for variable-sized calls: it turns per-peer byte counts into
+// contiguous displacements plus the total buffer length.
+//
+// # Nonblocking exchanges
+//
+// Every persistent operation is also nonblocking: Start launches the
+// exchange off the caller's critical path and returns a Handle with Wait
+// and Test; the blocking methods are exactly Start followed by Wait, and
+// at most one exchange per operation may be outstanding (MPI
+// persistent-request semantics). On the live runtime a started exchange
+// runs on its own driver goroutine, overlapping with whatever Go code the
+// caller runs before Wait. In the simulator, Comm.Compute(seconds)
+// models application compute, and any compute issued while a handle is
+// outstanding hides behind the exchange's waiting time — so a
+// Start / Compute / Wait sequence costs max(comm, compute + software
+// overhead) of virtual time, and `alltoallbench -experiment overlap`
+// quantifies the hideable fraction per algorithm:
+//
+//	a, _ := alltoallx.New("node-aware", c, 64, alltoallx.Options{})
+//	h, err := a.Start(send, recv, 64)
+//	if err != nil { return err }
+//	computeSomething()        // overlapped with the exchange
+//	c.Compute(0.001)          // modeled compute (simulator)
+//	if err := h.Wait(); err != nil { return err }
 package alltoallx
 
 import (
@@ -98,6 +120,15 @@ func MI300ANode() NodeSpec { return topo.MI300A() }
 
 // Alltoaller is a persistent all-to-all operation.
 type Alltoaller = core.Alltoaller
+
+// Handle is an in-flight started collective exchange: Wait blocks until
+// completion, Test polls. Handles come from the Start method of any
+// persistent operation and are driven by the rank that started them.
+type Handle = core.Handle
+
+// WaitAll waits for every handle, ignoring nil entries, and returns the
+// joined errors of the failures.
+func WaitAll(hs []Handle) error { return core.WaitAll(hs) }
 
 // Options configures algorithm construction.
 type Options = core.Options

@@ -103,6 +103,60 @@ func TestPublicLiveRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPublicStartWait drives every registered algorithm through the
+// nonblocking facade — Start, a Test poll, Wait (via WaitAll) — and
+// verifies the exchange, including the dispatching meta-algorithms whose
+// bucket selection runs inside the started body.
+func TestPublicStartWait(t *testing.T) {
+	t.Parallel()
+	spec := alltoallx.NodeSpec{Sockets: 2, NumaPerSocket: 2, CoresPerNuma: 2}
+	mapping, err := alltoallx.NewMapping(spec, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const block = 48
+	for _, algo := range alltoallx.Algorithms() {
+		algo := algo
+		t.Run(algo, func(t *testing.T) {
+			t.Parallel()
+			opts := alltoallx.Options{PPL: 2, PPG: 2}
+			switch algo {
+			case "system-mpi":
+				opts.Sys = alltoallx.Dane().Sys
+			case "tuned":
+				opts.Table = &alltoallx.Dispatch{Entries: []alltoallx.DispatchEntry{
+					{MaxBlock: 8, Algo: "bruck"},
+					{MaxBlock: block, Algo: "node-aware"},
+				}}
+			}
+			err := alltoallx.RunLive(alltoallx.LiveConfig{Mapping: mapping}, func(c alltoallx.Comm) error {
+				a, err := alltoallx.New(algo, c, block, opts)
+				if err != nil {
+					return err
+				}
+				p := c.Size()
+				send := alltoallx.Alloc(p * block)
+				recv := alltoallx.Alloc(p * block)
+				testutil.FillAlltoall(send, c.Rank(), p, block)
+				h, err := a.Start(send, recv, block)
+				if err != nil {
+					return err
+				}
+				if _, err := h.Test(); err != nil {
+					return err
+				}
+				if err := alltoallx.WaitAll([]alltoallx.Handle{nil, h}); err != nil {
+					return err
+				}
+				return testutil.CheckAlltoall(recv, c.Rank(), p, block)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
 // TestPublicSimulate runs a simulated exchange through the facade and
 // checks the phase constants line up with recorded phases.
 func TestPublicSimulate(t *testing.T) {

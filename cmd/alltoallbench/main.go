@@ -35,7 +35,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment ID (fig7..fig18, table1, headline) or 'all'")
+		experiment = flag.String("experiment", "all", "experiment ID (fig7..fig18, table1, headline, overlap) or 'all'")
 		scaleName  = flag.String("scale", "quick", "reproduction scale: quick or full")
 		nodes      = flag.Int("nodes", 0, "override node count (0 = experiment default)")
 		ppn        = flag.Int("ppn", 0, "override ranks per node (0 = scale default)")
@@ -48,6 +48,12 @@ func main() {
 			"with -table: the collective the table must be tuned for (alltoall or alltoallv)")
 		algoList = flag.String("algo", "",
 			"with -table: comma-separated algorithms to compare (tuned = the table's dispatcher; default depends on -op)")
+		machineName = flag.String("machine", "Dane",
+			"with -experiment overlap: machine preset (Dane, Amber, Tuolomne)")
+		computeFrac = flag.Float64("computefrac", 1.0,
+			"with -experiment overlap: modeled compute between Start and Wait, as a fraction of the blocking exchange time")
+		blockSize = flag.Int("block", 4096,
+			"with -experiment overlap: block bytes per rank pair")
 	)
 	flag.Parse()
 
@@ -64,6 +70,25 @@ func main() {
 	var progress func(string)
 	if *verbose {
 		progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
+	}
+
+	if *experiment == "overlap" {
+		if *tablePath != "" {
+			fatal(fmt.Errorf("-experiment overlap and -table are mutually exclusive"))
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "op" {
+				fatal(fmt.Errorf("-op does not apply to -experiment overlap (it measures the fixed-size exchange)"))
+			}
+		})
+		algos := *algoList
+		if algos == "" {
+			algos = "pairwise,nonblocking,bruck,node-aware,multileader-node-aware"
+		}
+		if err := runOverlap(*machineName, scale, *nodes, *blockSize, algos, *computeFrac, *csvDir, progress); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	op := core.Op(*opName).Norm()
@@ -215,6 +240,39 @@ func runTable(path string, op core.Op, algoList string, scale bench.Scale, csvDi
 		return err
 	}
 	return emit(t, csvDir, plot)
+}
+
+// runOverlap measures the nonblocking-overlap efficiency
+// (hidden-communication fraction) of each algorithm under the simulator:
+// a Start / Compute / Wait sequence versus the blocking exchange plus the
+// same compute.
+func runOverlap(machine string, scale bench.Scale, nodes, block int, algoList string, frac float64, csvDir string, progress func(string)) error {
+	t, err := bench.RunOverlap(machine, scale, nodes, block, strings.Split(algoList, ","), frac, progress)
+	if err != nil {
+		return err
+	}
+	if err := t.Format(os.Stdout); err != nil {
+		return err
+	}
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(csvDir, "overlap_"+scale.Name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := t.CSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	return nil
 }
 
 // emit prints a completed table and optionally plots and CSV-dumps it.

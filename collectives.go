@@ -29,33 +29,6 @@ func DisplsFromCounts(counts []int) (displs []int, total int) {
 	return core.DisplsFromCounts(counts)
 }
 
-// AlltoallvCounts builds contiguous displacements for per-peer byte
-// counts.
-//
-// Deprecated: renamed to DisplsFromCounts (the result is displacements,
-// not counts); this alias forwards to it.
-func AlltoallvCounts(counts []int) (displs []int, total int) {
-	return core.DisplsFromCounts(counts)
-}
-
-// Alltoallv performs a one-shot variable-sized all-to-all (MPI_Alltoallv
-// semantics, pairwise stepping).
-//
-// Deprecated: construct a persistent operation with
-// NewV("pairwise", ...) instead; the free function re-validates on every
-// call and cannot take part in tuned dispatch.
-func Alltoallv(c Comm, send Buffer, sendCounts, sdispls []int, recv Buffer, recvCounts, rdispls []int) error {
-	return core.Alltoallv(c, send, sendCounts, sdispls, recv, recvCounts, rdispls)
-}
-
-// AlltoallvNonblocking is Alltoallv with all exchanges posted up front.
-//
-// Deprecated: construct a persistent operation with
-// NewV("nonblocking", ...) instead.
-func AlltoallvNonblocking(c Comm, send Buffer, sendCounts, sdispls []int, recv Buffer, recvCounts, rdispls []int) error {
-	return core.AlltoallvNonblocking(c, send, sendCounts, sdispls, recv, recvCounts, rdispls)
-}
-
 // ReduceOp accumulates the second buffer into the first, element-wise.
 type ReduceOp = collx.Op
 
@@ -118,40 +91,4 @@ type NodeAwareCollectives = collx.NodeAware
 // (collective over the world communicator c, which must carry a mapping).
 func NewNodeAwareCollectives(c Comm) (*NodeAwareCollectives, error) {
 	return collx.NewNodeAware(c)
-}
-
-// AllgatherRing gathers every rank's block to all ranks in p-1
-// neighbor steps (bandwidth-optimal baseline).
-//
-// Deprecated: construct a persistent operation with
-// NewAllgather("ring", ...) instead.
-func AllgatherRing(c Comm, send, recv Buffer, block int) error {
-	return collx.AllgatherRing(c, send, recv, block)
-}
-
-// AllgatherBruck gathers in ceil(log2 p) doubling steps
-// (latency-optimal baseline).
-//
-// Deprecated: construct a persistent operation with
-// NewAllgather("bruck", ...) instead.
-func AllgatherBruck(c Comm, send, recv Buffer, block int) error {
-	return collx.AllgatherBruck(c, send, recv, block)
-}
-
-// AllreduceRecursiveDoubling reduces buf element-wise across all ranks,
-// leaving the result everywhere.
-//
-// Deprecated: construct a persistent operation with
-// NewAllreduce("recursive-doubling", ...) instead.
-func AllreduceRecursiveDoubling(c Comm, buf Buffer, op ReduceOp) error {
-	return collx.AllreduceRecursiveDoubling(c, buf, op)
-}
-
-// ReduceScatterPairwise leaves each rank the element-wise reduction of
-// every rank's block for it.
-//
-// Deprecated: construct a persistent operation with
-// NewReduceScatter("pairwise", ...) instead.
-func ReduceScatterPairwise(c Comm, send, recv Buffer, block int, op ReduceOp) error {
-	return collx.ReduceScatterPairwise(c, send, recv, block, op)
 }

@@ -1,0 +1,91 @@
+package alltoallx
+
+// This file collects every deprecated free-function shim at the facade.
+// All of them predate the unified persistent-operation API (construct
+// once with a registry constructor, exchange many times, Start/Test/Wait
+// for overlap) and forward to the same implementations; none can take
+// part in tuned dispatch, phase breakdowns, or nonblocking exchanges.
+//
+// Migration table:
+//
+//	deprecated shim               registry replacement
+//	---------------------------   ------------------------------------------
+//	Alltoallv                     NewV("pairwise", c, maxTotal, o)
+//	AlltoallvNonblocking          NewV("nonblocking", c, maxTotal, o)
+//	AlltoallvCounts               DisplsFromCounts
+//	AllgatherRing                 NewAllgather("ring", c, o)
+//	AllgatherBruck                NewAllgather("bruck", c, o)
+//	AllreduceRecursiveDoubling    NewAllreduce("recursive-doubling", c, o)
+//	ReduceScatterPairwise         NewReduceScatter("pairwise", c, o)
+//
+// The shims remain so no caller breaks; new code should use the
+// replacements, which validate once at construction and expose the full
+// operation interface (Phases, Start/Test/Wait).
+
+import (
+	"alltoallx/internal/collx"
+	"alltoallx/internal/core"
+)
+
+// AlltoallvCounts builds contiguous displacements for per-peer byte
+// counts.
+//
+// Deprecated: renamed to DisplsFromCounts (the result is displacements,
+// not counts); this alias forwards to it.
+func AlltoallvCounts(counts []int) (displs []int, total int) {
+	return core.DisplsFromCounts(counts)
+}
+
+// Alltoallv performs a one-shot variable-sized all-to-all (MPI_Alltoallv
+// semantics, pairwise stepping).
+//
+// Deprecated: construct a persistent operation with
+// NewV("pairwise", ...) instead; the free function re-validates on every
+// call and cannot take part in tuned dispatch.
+func Alltoallv(c Comm, send Buffer, sendCounts, sdispls []int, recv Buffer, recvCounts, rdispls []int) error {
+	return core.Alltoallv(c, send, sendCounts, sdispls, recv, recvCounts, rdispls)
+}
+
+// AlltoallvNonblocking is Alltoallv with all exchanges posted up front.
+//
+// Deprecated: construct a persistent operation with
+// NewV("nonblocking", ...) instead.
+func AlltoallvNonblocking(c Comm, send Buffer, sendCounts, sdispls []int, recv Buffer, recvCounts, rdispls []int) error {
+	return core.AlltoallvNonblocking(c, send, sendCounts, sdispls, recv, recvCounts, rdispls)
+}
+
+// AllgatherRing gathers every rank's block to all ranks in p-1
+// neighbor steps (bandwidth-optimal baseline).
+//
+// Deprecated: construct a persistent operation with
+// NewAllgather("ring", ...) instead.
+func AllgatherRing(c Comm, send, recv Buffer, block int) error {
+	return collx.AllgatherRing(c, send, recv, block)
+}
+
+// AllgatherBruck gathers in ceil(log2 p) doubling steps
+// (latency-optimal baseline).
+//
+// Deprecated: construct a persistent operation with
+// NewAllgather("bruck", ...) instead.
+func AllgatherBruck(c Comm, send, recv Buffer, block int) error {
+	return collx.AllgatherBruck(c, send, recv, block)
+}
+
+// AllreduceRecursiveDoubling reduces buf element-wise across all ranks,
+// leaving the result everywhere.
+//
+// Deprecated: construct a persistent operation with
+// NewAllreduce("recursive-doubling", ...) instead.
+func AllreduceRecursiveDoubling(c Comm, buf Buffer, op ReduceOp) error {
+	return collx.AllreduceRecursiveDoubling(c, buf, op)
+}
+
+// ReduceScatterPairwise leaves each rank the element-wise reduction of
+// every rank's block for it.
+//
+// Deprecated: construct a persistent operation with
+// NewReduceScatter("pairwise", ...) instead.
+func ReduceScatterPairwise(c Comm, send, recv Buffer, block int, op ReduceOp) error {
+	return collx.ReduceScatterPairwise(c, send, recv, block, op)
+}

@@ -7,7 +7,13 @@
 // FFTs, transpose. Each distributed transpose uses the selected all-to-all
 // algorithm. The result is verified against a direct O(N^2) DFT.
 //
-//	go run ./examples/fft [-algo node-aware] [-n 4096] [-ranks 16]
+// With -pipeline each transpose is software-pipelined through the
+// nonblocking Start/Test/Wait API: the owned rows are split in half, the
+// first half's exchange is started, and the second half's packing (and
+// later the first half's unpacking) overlaps with it — the pack/unpack
+// compute hides behind the wire.
+//
+//	go run ./examples/fft [-algo node-aware] [-n 4096] [-ranks 16] [-pipeline]
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"math"
 	"math/cmplx"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"alltoallx"
@@ -24,9 +31,10 @@ import (
 
 func main() {
 	var (
-		algo  = flag.String("algo", "node-aware", "all-to-all algorithm for the transposes")
-		n     = flag.Int("n", 4096, "total FFT points (power of two)")
-		ranks = flag.Int("ranks", 16, "rank count (power of two dividing both matrix axes)")
+		algo     = flag.String("algo", "node-aware", "all-to-all algorithm for the transposes")
+		n        = flag.Int("n", 4096, "total FFT points (power of two)")
+		ranks    = flag.Int("ranks", 16, "rank count (power of two dividing both matrix axes)")
+		pipeline = flag.Bool("pipeline", false, "pipeline each transpose with Start/Test/Wait (pack/unpack overlaps the exchange)")
 	)
 	flag.Parse()
 
@@ -53,9 +61,10 @@ func main() {
 	}
 
 	got := make([]complex128, *n)
+	var inFlight int64 // Test() polls that found the exchange still running
 	start := time.Now()
 	err = alltoallx.RunLive(alltoallx.LiveConfig{Mapping: mapping}, func(c alltoallx.Comm) error {
-		out, err := distributedFFT(c, *algo, x, n1, n2)
+		out, err := distributedFFT(c, *algo, x, n1, n2, *pipeline, &inFlight)
 		if err != nil {
 			return err
 		}
@@ -76,7 +85,15 @@ func main() {
 			maxErr = e
 		}
 	}
-	fmt.Printf("distributed FFT: N=%d (%dx%d) on %d ranks via %s transposes\n", *n, n1, n2, *ranks, *algo)
+	mode := "blocking"
+	if *pipeline {
+		mode = "pipelined (Start/Test/Wait)"
+	}
+	fmt.Printf("distributed FFT: N=%d (%dx%d) on %d ranks via %s %s transposes\n", *n, n1, n2, *ranks, mode, *algo)
+	if *pipeline {
+		fmt.Printf("overlap: %d Test polls observed the exchange still in flight while packing/unpacking\n",
+			atomic.LoadInt64(&inFlight))
+	}
 	fmt.Printf("max |error| vs direct DFT: %.3e (%.2fms)\n", maxErr, float64(elapsed.Microseconds())/1000)
 	if maxErr > 1e-6 {
 		log.Fatal("FFT verification FAILED")
@@ -99,7 +116,7 @@ func factor(n int) (int, int) {
 // distributedFFT computes FFT(x) with x viewed as an n1 x n2 row-major
 // matrix (element x[r*n2+c] at row r). Rank k owns rows [k*rows, (k+1)*rows).
 // The returned slice is this rank's rows of the final transposed result.
-func distributedFFT(c alltoallx.Comm, algo string, x []complex128, n1, n2 int) ([]complex128, error) {
+func distributedFFT(c alltoallx.Comm, algo string, x []complex128, n1, n2 int, pipeline bool, inFlight *int64) ([]complex128, error) {
 	p, rank := c.Size(), c.Rank()
 	nTotal := n1 * n2
 
@@ -116,9 +133,16 @@ func distributedFFT(c alltoallx.Comm, algo string, x []complex128, n1, n2 int) (
 		return nil, err
 	}
 
+	xpose := transpose
+	if pipeline {
+		xpose = func(c alltoallx.Comm, a alltoallx.Alltoaller, local []complex128, myRows, cols, p int) ([]complex128, error) {
+			return transposePipelined(c, a, local, myRows, cols, p, inFlight)
+		}
+	}
+
 	// Step 1: transpose to n2 x n1 (rank gets rows of the transposed
 	// matrix, i.e. columns of the original).
-	t1, err := transpose(c, a, local, rows1, n2, p)
+	t1, err := xpose(c, a, local, rows1, n2, p)
 	if err != nil {
 		return nil, err
 	}
@@ -137,7 +161,7 @@ func distributedFFT(c alltoallx.Comm, algo string, x []complex128, n1, n2 int) (
 	}
 
 	// Step 4: transpose back to n1 x n2.
-	t2, err := transpose(c, a, t1, rows2, n1, p)
+	t2, err := xpose(c, a, t1, rows2, n1, p)
 	if err != nil {
 		return nil, err
 	}
@@ -148,7 +172,7 @@ func distributedFFT(c alltoallx.Comm, algo string, x []complex128, n1, n2 int) (
 	}
 
 	// Step 6: final transpose to n2 x n1; X[k1 + n1*k2] = result row k2.
-	return transpose(c, a, t2, rows1, n2, p)
+	return xpose(c, a, t2, rows1, n2, p)
 }
 
 // transpose redistributes a row-distributed rows x cols matrix (rows per
@@ -187,6 +211,106 @@ func transpose(c alltoallx.Comm, a alltoallx.Alltoaller, local []complex128, myR
 		}
 	}
 	return out, nil
+}
+
+// transposePipelined is transpose software-pipelined through the
+// nonblocking API: the owned rows are split in half, each half travels in
+// its own (smaller) all-to-all, and the pack of half 2 overlaps the
+// exchange of half 1 while the unpack of half 1 overlaps the exchange of
+// half 2. Test is polled between per-destination packing chunks; every
+// poll that finds the exchange still in flight is proof of compute that
+// hid behind communication.
+func transposePipelined(c alltoallx.Comm, a alltoallx.Alltoaller, local []complex128,
+	myRows, cols, p int, inFlight *int64) ([]complex128, error) {
+	if myRows < 2 {
+		return transpose(c, a, local, myRows, cols, p) // nothing to split
+	}
+	colsPer := cols / p
+	r1 := myRows / 2
+	r2 := myRows - r1
+	block1 := r1 * colsPer * 16
+	block2 := r2 * colsPer * 16
+	send1, recv1 := alltoallx.Alloc(p*block1), alltoallx.Alloc(p*block1)
+	send2, recv2 := alltoallx.Alloc(p*block2), alltoallx.Alloc(p*block2)
+	out := make([]complex128, colsPer*myRows*p)
+	totalRows := myRows * p
+
+	// pack writes the row range [lo, hi) into per-destination blocks.
+	pack := func(send alltoallx.Buffer, lo, hi int, h alltoallx.Handle) error {
+		rows := hi - lo
+		for d := 0; d < p; d++ {
+			off := d * rows * colsPer * 16
+			for r := lo; r < hi; r++ {
+				for cc := 0; cc < colsPer; cc++ {
+					putComplex(send.Bytes()[off+((r-lo)*colsPer+cc)*16:], local[r*cols+d*colsPer+cc])
+				}
+			}
+			if err := pollInFlight(h, inFlight); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// unpack spreads arrivals for the source-row range [lo, hi) into out.
+	unpack := func(recv alltoallx.Buffer, lo, hi int, h alltoallx.Handle) error {
+		rows := hi - lo
+		for s := 0; s < p; s++ {
+			off := s * rows * colsPer * 16
+			for r := lo; r < hi; r++ {
+				for cc := 0; cc < colsPer; cc++ {
+					out[cc*totalRows+s*myRows+r] = getComplex(recv.Bytes()[off+((r-lo)*colsPer+cc)*16:])
+				}
+			}
+			if err := pollInFlight(h, inFlight); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if err := pack(send1, 0, r1, nil); err != nil {
+		return nil, err
+	}
+	h1, err := a.Start(send1, recv1, block1)
+	if err != nil {
+		return nil, err
+	}
+	if err := pack(send2, r1, myRows, h1); err != nil { // overlaps exchange 1
+		return nil, err
+	}
+	if err := h1.Wait(); err != nil {
+		return nil, err
+	}
+	h2, err := a.Start(send2, recv2, block2)
+	if err != nil {
+		return nil, err
+	}
+	if err := unpack(recv1, 0, r1, h2); err != nil { // overlaps exchange 2
+		return nil, err
+	}
+	if err := h2.Wait(); err != nil {
+		return nil, err
+	}
+	if err := unpack(recv2, r1, myRows, nil); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// pollInFlight polls a handle between compute chunks, tallying polls that
+// found the exchange still running (nil handles are skipped).
+func pollInFlight(h alltoallx.Handle, inFlight *int64) error {
+	if h == nil {
+		return nil
+	}
+	done, err := h.Test()
+	if err != nil {
+		return err
+	}
+	if !done {
+		atomic.AddInt64(inFlight, 1)
+	}
+	return nil
 }
 
 // fft is an in-place iterative radix-2 Cooley-Tukey FFT.

@@ -12,7 +12,12 @@
 //     all-to-all exchanges the per-pair token counts, then the payload
 //     alltoallv moves exactly the routed bytes. No capacity, no drops.
 //
-//     go run ./examples/mlshuffle [-op alltoallv] [-tokens 256] [-dim 64] [-ranks 16]
+// With -pipeline (alltoallv only) the return trip of step s is issued
+// nonblockingly with Start, and step s+1's routing and packing — pure
+// compute — overlaps it, polling Test between packing chunks; Wait
+// synchronizes before the returned tokens are verified.
+//
+//	go run ./examples/mlshuffle [-op alltoallv] [-tokens 256] [-dim 64] [-ranks 16] [-pipeline]
 package main
 
 import (
@@ -28,12 +33,13 @@ import (
 
 func main() {
 	var (
-		tokens = flag.Int("tokens", 256, "tokens per rank per step")
-		dim    = flag.Int("dim", 64, "floats per token")
-		ranks  = flag.Int("ranks", 16, "rank count (= expert count)")
-		opName = flag.String("op", "alltoallv", "exchange: alltoall (fixed capacity, drops) or alltoallv (exact counts)")
-		algo   = flag.String("algo", "", "algorithm name (default: multileader-node-aware for alltoall, node-aware for alltoallv)")
-		steps  = flag.Int("steps", 10, "shuffle steps to time")
+		tokens   = flag.Int("tokens", 256, "tokens per rank per step")
+		dim      = flag.Int("dim", 64, "floats per token")
+		ranks    = flag.Int("ranks", 16, "rank count (= expert count)")
+		opName   = flag.String("op", "alltoallv", "exchange: alltoall (fixed capacity, drops) or alltoallv (exact counts)")
+		algo     = flag.String("algo", "", "algorithm name (default: multileader-node-aware for alltoall, node-aware for alltoallv)")
+		steps    = flag.Int("steps", 10, "shuffle steps to time")
+		pipeline = flag.Bool("pipeline", false, "overlap each step's return trip with the next step's routing and packing (alltoallv only)")
 	)
 	flag.Parse()
 
@@ -53,28 +59,44 @@ func main() {
 		if *algo == "" {
 			*algo = "multileader-node-aware"
 		}
+		if *pipeline {
+			log.Fatal("-pipeline requires -op alltoallv")
+		}
 		runCapacity(mapping, *tokens, *dim, *steps, *algo)
 	case alltoallx.OpAlltoallv:
 		if *algo == "" {
 			*algo = "node-aware"
 		}
-		runExact(mapping, *tokens, *dim, *steps, *algo)
+		runExact(mapping, *tokens, *dim, *steps, *algo, *pipeline)
 	default:
 		log.Fatalf("unknown -op %q (want %s or %s)", *opName, alltoallx.OpAlltoall, alltoallx.OpAlltoallv)
 	}
 }
 
+// stepPrep is one step's routing outcome: which tokens go to which
+// expert, the resulting send counts/displacements, and the packed send
+// buffer (written by prepare).
+type stepPrep struct {
+	route   [][]int64
+	sc      []int
+	sdispls []int
+	sTotal  int
+}
+
 // runExact shuffles with exact counts: a persistent 8-byte all-to-all
 // announces how many bytes each pair exchanges, then a persistent
 // alltoallv moves exactly that much. Every routed token is delivered.
-func runExact(mapping *alltoallx.Mapping, tokens, dim, steps int, algo string) {
+// With pipeline=true the return trip of each step is started
+// nonblockingly and the next step's routing + packing (pure compute)
+// overlaps it.
+func runExact(mapping *alltoallx.Mapping, tokens, dim, steps int, algo string, pipeline bool) {
 	p := mapping.Size()
 	slot := 8 + dim*8
 	// Collective worst-case ceiling: every token in the system routed to
 	// one expert.
 	maxTotal := p * tokens * slot
 
-	var totalTokens int64
+	var totalTokens, inFlight int64
 	start := time.Now()
 	err := alltoallx.RunLive(alltoallx.LiveConfig{Mapping: mapping}, func(c alltoallx.Comm) error {
 		rank := c.Rank()
@@ -94,30 +116,25 @@ func runExact(mapping *alltoallx.Mapping, tokens, dim, steps int, algo string) {
 		recv := alltoallx.Alloc(maxTotal)
 		back := alltoallx.Alloc(maxTotal)
 		home := alltoallx.Alloc(tokens * slot)
-		for step := 0; step < steps; step++ {
-			// Route: token i goes to expert router(i); no capacity limit.
+
+		// prepare routes one step's tokens and packs them into send (and
+		// the counts into csend) — pure local compute. When h is non-nil
+		// it is polled between per-expert packing chunks: every poll that
+		// finds the previous return trip still in flight is compute that
+		// hid behind communication.
+		prepare := func(step int, h alltoallx.Handle) (*stepPrep, error) {
 			route := make([][]int64, p)
 			for tok := 0; tok < tokens; tok++ {
 				expert := rng.Intn(p)
 				id := int64(rank)*1_000_000 + int64(step)*10_000 + int64(tok)
 				route[expert] = append(route[expert], id)
 			}
-			// Announce counts, then derive both sides' displacements.
 			sc := make([]int, p)
 			for d := 0; d < p; d++ {
 				sc[d] = len(route[d]) * slot
 				putI64(csend.Bytes()[d*8:], int64(sc[d]))
 			}
-			if err := counter.Alltoall(csend, crecv, 8); err != nil {
-				return err
-			}
-			rc := make([]int, p)
-			for s := 0; s < p; s++ {
-				rc[s] = int(getI64(crecv.Bytes()[s*8:]))
-			}
 			sdispls, sTotal := alltoallx.DisplsFromCounts(sc)
-			rdispls, rTotal := alltoallx.DisplsFromCounts(rc)
-			// Pack and ship exactly the routed tokens.
 			for d := 0; d < p; d++ {
 				off := sdispls[d]
 				for _, id := range route[d] {
@@ -127,8 +144,37 @@ func runExact(mapping *alltoallx.Mapping, tokens, dim, steps int, algo string) {
 					}
 					off += slot
 				}
+				if h != nil {
+					done, err := h.Test()
+					if err != nil {
+						return nil, err
+					}
+					if !done && rank == 0 {
+						inFlight++
+					}
+				}
 			}
-			if err := shuffler.Alltoallv(send.Slice(0, sTotal), sc, sdispls,
+			return &stepPrep{route: route, sc: sc, sdispls: sdispls, sTotal: sTotal}, nil
+		}
+
+		var cur *stepPrep
+		for step := 0; step < steps; step++ {
+			if cur == nil {
+				if cur, err = prepare(step, nil); err != nil {
+					return err
+				}
+			}
+			// Announce counts, then derive the receive displacements.
+			if err := counter.Alltoall(csend, crecv, 8); err != nil {
+				return err
+			}
+			rc := make([]int, p)
+			for s := 0; s < p; s++ {
+				rc[s] = int(getI64(crecv.Bytes()[s*8:]))
+			}
+			rdispls, rTotal := alltoallx.DisplsFromCounts(rc)
+			// Ship exactly the routed tokens.
+			if err := shuffler.Alltoallv(send.Slice(0, cur.sTotal), cur.sc, cur.sdispls,
 				recv.Slice(0, rTotal), rc, rdispls); err != nil {
 				return err
 			}
@@ -152,15 +198,31 @@ func runExact(mapping *alltoallx.Mapping, tokens, dim, steps int, algo string) {
 					}
 				}
 			}
-			// Return trip: counts are simply reversed.
-			if err := shuffler.Alltoallv(back.Slice(0, rTotal), rc, rdispls,
-				home.Slice(0, sTotal), sc, sdispls); err != nil {
+			// Return trip: counts are simply reversed. Pipelined, the next
+			// step's routing and packing overlaps it (send is free — the
+			// forward exchange completed — and the in-flight return only
+			// touches back and home).
+			next := (*stepPrep)(nil)
+			if pipeline && step+1 < steps {
+				h, err := shuffler.Start(back.Slice(0, rTotal), rc, rdispls,
+					home.Slice(0, cur.sTotal), cur.sc, cur.sdispls)
+				if err != nil {
+					return err
+				}
+				if next, err = prepare(step+1, h); err != nil {
+					return err
+				}
+				if err := h.Wait(); err != nil {
+					return err
+				}
+			} else if err := shuffler.Alltoallv(back.Slice(0, rTotal), rc, rdispls,
+				home.Slice(0, cur.sTotal), cur.sc, cur.sdispls); err != nil {
 				return err
 			}
 			// Verify every originated token came home negated.
 			for d := 0; d < p; d++ {
-				off := sdispls[d]
-				for _, id := range route[d] {
+				off := cur.sdispls[d]
+				for _, id := range cur.route[d] {
 					if got := getI64(home.Bytes()[off:]); got != id {
 						return fmt.Errorf("rank %d: token %d came home as %d", rank, id, got)
 					}
@@ -172,6 +234,7 @@ func runExact(mapping *alltoallx.Mapping, tokens, dim, steps int, algo string) {
 					off += slot
 				}
 			}
+			cur = next
 		}
 		return nil
 	})
@@ -181,10 +244,17 @@ func runExact(mapping *alltoallx.Mapping, tokens, dim, steps int, algo string) {
 	elapsed := time.Since(start)
 	// Rank 0 counted ~1/p of deliveries; scale to all ranks, two trips.
 	est := totalTokens * int64(p) * 2
-	fmt.Printf("MoE shuffle (exact alltoallv): %d ranks, %d tokens/rank/step, dim %d, %d steps via %s\n",
-		p, tokens, dim, steps, algo)
+	mode := "exact alltoallv"
+	if pipeline {
+		mode = "exact alltoallv, pipelined Start/Test/Wait"
+	}
+	fmt.Printf("MoE shuffle (%s): %d ranks, %d tokens/rank/step, dim %d, %d steps via %s\n",
+		mode, p, tokens, dim, steps, algo)
 	fmt.Printf("  delivered ~%d token-trips in %.1fms (%.2fM tokens/s), 0 dropped (no capacity limit)\n",
 		est, float64(elapsed.Microseconds())/1000, float64(est)/elapsed.Seconds()/1e6)
+	if pipeline {
+		fmt.Printf("  overlap: %d rank-0 Test polls observed the return trip still in flight during next-step packing\n", inFlight)
+	}
 	fmt.Println("  verified OK")
 }
 

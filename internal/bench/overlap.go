@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"alltoallx/internal/comm"
+	"alltoallx/internal/core"
+	"alltoallx/internal/netmodel"
+	"alltoallx/internal/sim"
+)
+
+// This file implements the "overlap" experiment: how much of each
+// algorithm's all-to-all hides behind application compute when the
+// exchange is issued nonblockingly (Start / Compute / Wait) instead of
+// blockingly. The simulator's overlap model banks the time a rank spends
+// *waiting* during a started exchange and lets Compute draw it down, so
+// the hideable fraction differs by algorithm: synchronization-heavy
+// exchanges (pairwise) leave long waits on the table, while repack-heavy
+// node-aware schemes keep the CPU busy and hide less.
+
+// OverlapPoint is one algorithm's overlap measurement at one compute
+// fraction.
+type OverlapPoint struct {
+	// Algo is the algorithm's registry name.
+	Algo string
+	// CommSeconds is the blocking exchange duration (max across ranks,
+	// min across runs — the standard methodology).
+	CommSeconds float64
+	// ComputeSeconds is the modeled compute issued between Start and
+	// Wait: Frac * CommSeconds.
+	ComputeSeconds float64
+	// SeqSeconds is the no-overlap baseline, CommSeconds +
+	// ComputeSeconds (a blocking program pays the straight sum).
+	SeqSeconds float64
+	// AsyncSeconds is the measured Start / Compute / Wait duration.
+	AsyncSeconds float64
+	// Hidden is the communication time that disappeared behind compute:
+	// SeqSeconds - AsyncSeconds, clamped to [0, min(comm, compute)].
+	Hidden float64
+	// HiddenFrac is the overlap efficiency: Hidden divided by the best
+	// possible overlap min(CommSeconds, ComputeSeconds). 1.0 means the
+	// exchange hid perfectly; 0 means Start+Compute+Wait cost the same
+	// as the blocking sequence.
+	HiddenFrac float64
+}
+
+// OverlapTable is a completed overlap experiment.
+type OverlapTable struct {
+	Machine netmodel.Params
+	Nodes   int
+	PPN     int
+	Block   int
+	Frac    float64
+	Runs    int
+	Rows    []OverlapPoint
+}
+
+// RunOverlap measures overlap efficiency for each algorithm on the named
+// machine preset: first the blocking exchange time T, then a
+// Start / Compute(frac*T) / Wait sequence under the same seeds. The scale
+// sets PPN and repetitions exactly as for the figure experiments.
+func RunOverlap(machineName string, scale Scale, nodes, block int, algos []string, frac float64, progress func(string)) (*OverlapTable, error) {
+	machine, err := netmodel.ByName(machineName)
+	if err != nil {
+		return nil, err
+	}
+	if frac <= 0 {
+		return nil, fmt.Errorf("bench: overlap compute fraction must be positive, got %g", frac)
+	}
+	if nodes <= 0 {
+		nodes = 8
+	}
+	if scale.NodeCap > 0 && nodes > scale.NodeCap {
+		nodes = scale.NodeCap
+	}
+	ppn := machine.Node.CoresPerNode()
+	if scale.PPN > 0 && scale.PPN < ppn {
+		ppn = scale.PPN
+	}
+	if block <= 0 {
+		block = 4096
+	}
+	t := &OverlapTable{Machine: machine, Nodes: nodes, PPN: ppn, Block: block, Frac: frac, Runs: scale.Runs}
+	for _, algo := range algos {
+		algo = strings.TrimSpace(algo)
+		if algo == "" {
+			continue
+		}
+		cfg := Config{Machine: machine, Nodes: nodes, PPN: ppn, Algo: algo, Block: block, Runs: scale.Runs}
+		// Leader/group sizes must divide the (possibly reduced) ppn, as in
+		// the figure experiments.
+		switch algo {
+		case "multileader", "multileader-node-aware":
+			cfg.Opts.PPL = nearestDivisor(4, ppn)
+		case "locality-aware":
+			cfg.Opts.PPG = nearestDivisor(4, ppn)
+		}
+		pt, err := Measure(cfg)
+		if err != nil {
+			return nil, err
+		}
+		row, err := measureOverlap(cfg, pt.Seconds, frac)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, row)
+		if progress != nil {
+			progress(fmt.Sprintf("overlap: %q comm %.3e s, async %.3e s -> hidden %.0f%%",
+				algo, row.CommSeconds, row.AsyncSeconds, row.HiddenFrac*100))
+		}
+	}
+	if len(t.Rows) == 0 {
+		return nil, fmt.Errorf("bench: overlap experiment has no algorithms")
+	}
+	return t, nil
+}
+
+// measureOverlap times Start / Compute / Wait for one algorithm, reusing
+// the blocking measurement's seeds so the two differ only in issue order.
+func measureOverlap(cfg Config, commSeconds, frac float64) (OverlapPoint, error) {
+	compute := frac * commSeconds
+	opts := cfg.Opts
+	scale := 1.0
+	if cfg.Algo == "system-mpi" {
+		if opts.Sys.SmallAlgo == "" {
+			opts.Sys = cfg.Machine.Sys
+		}
+		scale = cfg.Machine.Sys.OverheadScale
+	}
+	p := cfg.Nodes * cfg.PPN
+	best := -1.0
+	for run := 0; run < cfg.Runs; run++ {
+		durations := make([]float64, p)
+		cc := sim.ClusterConfig{
+			Model: cfg.Machine, Nodes: cfg.Nodes, PPN: cfg.PPN,
+			Seed: cfg.BaseSeed + int64(run) + 1, OverheadScale: scale,
+		}
+		_, err := sim.RunCluster(cc, func(c comm.Comm) error {
+			a, err := core.New(cfg.Algo, c, cfg.Block, opts)
+			if err != nil {
+				return err
+			}
+			send := comm.Virtual(c.Size() * cfg.Block)
+			recv := comm.Virtual(c.Size() * cfg.Block)
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			t0 := c.Now()
+			h, err := a.Start(send, recv, cfg.Block)
+			if err != nil {
+				return err
+			}
+			if err := c.Compute(compute); err != nil {
+				return err
+			}
+			if err := h.Wait(); err != nil {
+				return err
+			}
+			durations[c.Rank()] = c.Now() - t0
+			return nil
+		})
+		if err != nil {
+			return OverlapPoint{}, fmt.Errorf("bench: overlap %s nodes=%d ppn=%d block=%d run=%d: %w",
+				cfg.Algo, cfg.Nodes, cfg.PPN, cfg.Block, run, err)
+		}
+		d := maxOf(durations)
+		if best < 0 || d < best {
+			best = d
+		}
+	}
+	seq := commSeconds + compute
+	hidden := seq - best
+	limit := commSeconds
+	if compute < limit {
+		limit = compute
+	}
+	if hidden < 0 {
+		hidden = 0
+	}
+	if hidden > limit {
+		hidden = limit
+	}
+	row := OverlapPoint{
+		Algo: cfg.Algo, CommSeconds: commSeconds, ComputeSeconds: compute,
+		SeqSeconds: seq, AsyncSeconds: best, Hidden: hidden,
+	}
+	if limit > 0 {
+		row.HiddenFrac = hidden / limit
+	}
+	return row, nil
+}
+
+// Format renders the overlap table.
+func (t *OverlapTable) Format(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "overlap — %s, %d nodes x %d ranks, %d B blocks, compute = %.2f x T_comm (min of %d runs)\n",
+		t.Machine.Name, t.Nodes, t.PPN, t.Block, t.Frac, t.Runs)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-24s %12s %12s %12s %12s %8s\n",
+		"algorithm", "T_comm(s)", "compute(s)", "blocking(s)", "overlapped(s)", "hidden"); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if _, err := fmt.Fprintf(w, "%-24s %12.3e %12.3e %12.3e %12.3e %7.0f%%\n",
+			r.Algo, r.CommSeconds, r.ComputeSeconds, r.SeqSeconds, r.AsyncSeconds, r.HiddenFrac*100); err != nil {
+			return err
+		}
+	}
+	_, err = fmt.Fprintln(w, "hidden = communication time that disappeared behind compute, as a share of min(T_comm, compute)")
+	return err
+}
+
+// CSV writes the overlap table as CSV.
+func (t *OverlapTable) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "algorithm,comm_s,compute_s,blocking_s,overlapped_s,hidden_s,hidden_frac"); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if _, err := fmt.Fprintf(w, "%s,%g,%g,%g,%g,%g,%g\n",
+			r.Algo, r.CommSeconds, r.ComputeSeconds, r.SeqSeconds, r.AsyncSeconds, r.Hidden, r.HiddenFrac); err != nil {
+			return err
+		}
+	}
+	return nil
+}

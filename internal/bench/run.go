@@ -20,13 +20,32 @@ func cacheGet(key string) (Point, bool) {
 	cache.mu.Lock()
 	defer cache.mu.Unlock()
 	pt, ok := cache.m[key]
+	if ok {
+		// Hand out a defensive copy of the phase map: every Phases() in
+		// the operation layer already copies, and the cache must not be
+		// the one place where a caller mutating a returned breakdown
+		// corrupts timing state shared with later cache hits.
+		pt.Phases = clonePhases(pt.Phases)
+	}
 	return pt, ok
 }
 
 func cachePut(key string, pt Point) {
 	cache.mu.Lock()
 	defer cache.mu.Unlock()
+	pt.Phases = clonePhases(pt.Phases)
 	cache.m[key] = pt
+}
+
+func clonePhases(m map[trace.Phase]float64) map[trace.Phase]float64 {
+	if m == nil {
+		return nil
+	}
+	out := make(map[trace.Phase]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
 }
 
 // Scale selects the size of a reproduction run.
@@ -227,5 +246,3 @@ func Headline(t *Table) (speedup float64, atX int, vs string) {
 	}
 	return speedup, atX, vs
 }
-
-var _ = trace.PhaseTotal // keep trace linked for documentation references

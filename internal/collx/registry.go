@@ -28,14 +28,20 @@ import (
 
 // Allgatherer is a persistent allgather bound to one rank: every call
 // gathers each rank's block to all ranks, up to the maxBlock fixed at
-// construction.
+// construction. Like every persistent operation, it supports nonblocking
+// exchanges: Start returns a core.Handle, the blocking method is exactly
+// Start followed by Wait, and at most one exchange may be outstanding.
 type Allgatherer interface {
 	// Name returns the algorithm's registry name.
 	Name() string
 	// Allgather gathers every rank's block (send, block bytes) into recv
 	// (Size()*block bytes, world rank order).
 	Allgather(send, recv comm.Buffer, block int) error
-	// Phases returns this rank's per-phase timings for the last call.
+	// Start launches the same exchange off the caller's critical path.
+	Start(send, recv comm.Buffer, block int) (core.Handle, error)
+	// Phases returns this rank's per-phase timings for the last
+	// completed exchange, as the caller's own copy. It must not be
+	// called while an exchange is outstanding.
 	Phases() map[trace.Phase]float64
 }
 
@@ -45,6 +51,8 @@ type Allreducer interface {
 	// Allreduce reduces buf element-wise across all ranks with op,
 	// leaving the full result everywhere.
 	Allreduce(buf comm.Buffer, op Op) error
+	// Start launches the same reduction off the caller's critical path.
+	Start(buf comm.Buffer, op Op) (core.Handle, error)
 	Phases() map[trace.Phase]float64
 }
 
@@ -54,29 +62,46 @@ type ReduceScatterer interface {
 	// ReduceScatter leaves on each rank the element-wise reduction of
 	// every rank's block for it.
 	ReduceScatter(send, recv comm.Buffer, block int, op Op) error
+	// Start launches the same exchange off the caller's critical path.
+	Start(send, recv comm.Buffer, block int, op Op) (core.Handle, error)
 	Phases() map[trace.Phase]float64
 }
 
 // collOp carries the shared persistent state of one collx operation: the
-// communicator, an optional NodeAware split set, and the phase recorder.
+// communicator, an optional NodeAware split set, the phase recorder, and
+// the nonblocking-handle state.
 type collOp struct {
 	name string
 	c    comm.Comm
 	na   *NodeAware // nil for flat algorithms
 	rec  *trace.Recorder
+	st   core.OpState
 }
 
 func (o *collOp) Name() string { return o.name }
 
 func (o *collOp) Phases() map[trace.Phase]float64 { return o.rec.Snapshot() }
 
-// timed runs fn under the total-phase timer.
+// startTimed launches fn off the critical path under the total-phase
+// timer — the collx counterpart of the core operations' Start bodies.
+func (o *collOp) startTimed(fn func() error) (core.Handle, error) {
+	return o.st.Start(o.c, func() error {
+		o.rec.Reset()
+		stop := o.rec.Time(trace.PhaseTotal)
+		err := fn()
+		stop()
+		return err
+	})
+}
+
+// timed runs fn to completion under the total-phase timer (the blocking
+// shim over startTimed).
 func (o *collOp) timed(fn func() error) error {
-	o.rec.Reset()
-	stop := o.rec.Time(trace.PhaseTotal)
-	err := fn()
-	stop()
-	return err
+	h, err := o.startTimed(fn)
+	if err != nil {
+		return err
+	}
+	return h.Wait()
 }
 
 // newCollOp builds the shared state; nodeAware selects whether the
@@ -102,6 +127,10 @@ func (a *allgatherer) Allgather(send, recv comm.Buffer, block int) error {
 	return a.timed(func() error { return a.run(send, recv, block) })
 }
 
+func (a *allgatherer) Start(send, recv comm.Buffer, block int) (core.Handle, error) {
+	return a.startTimed(func() error { return a.run(send, recv, block) })
+}
+
 type allreducer struct {
 	*collOp
 	run func(buf comm.Buffer, op Op) error
@@ -111,6 +140,10 @@ func (a *allreducer) Allreduce(buf comm.Buffer, op Op) error {
 	return a.timed(func() error { return a.run(buf, op) })
 }
 
+func (a *allreducer) Start(buf comm.Buffer, op Op) (core.Handle, error) {
+	return a.startTimed(func() error { return a.run(buf, op) })
+}
+
 type reduceScatterer struct {
 	*collOp
 	run func(send, recv comm.Buffer, block int, op Op) error
@@ -118,6 +151,10 @@ type reduceScatterer struct {
 
 func (r *reduceScatterer) ReduceScatter(send, recv comm.Buffer, block int, op Op) error {
 	return r.timed(func() error { return r.run(send, recv, block, op) })
+}
+
+func (r *reduceScatterer) Start(send, recv comm.Buffer, block int, op Op) (core.Handle, error) {
+	return r.startTimed(func() error { return r.run(send, recv, block, op) })
 }
 
 var agRegistry = map[string]func(c comm.Comm, o core.Options) (Allgatherer, error){

@@ -33,6 +33,34 @@ type Request interface {
 	Pending() bool
 }
 
+// Async is a substrate token for a started collective-operation body (see
+// AsyncStarter): the handle layer in internal/core polls or joins it to
+// implement Test and Wait. Like the operations themselves, a token is
+// driven by one goroutine — the rank that started it.
+type Async interface {
+	// Join blocks until the body has completed and returns its error.
+	// Joining a completed token returns the same error again.
+	Join() error
+	// TryJoin polls for completion without blocking. err is meaningful
+	// only when done is true.
+	TryJoin() (done bool, err error)
+}
+
+// AsyncStarter is an optional Comm capability: substrates that implement
+// it decide how a started operation's body runs off the caller's critical
+// path. The live runtime spawns a driver goroutine per started body; the
+// simulator executes the body eagerly under virtual time and banks the
+// time the rank spent *waiting* (parked on message completions, as
+// opposed to busy with per-message overheads and copies) as an overlap
+// budget that subsequent Compute calls on the same rank draw down — the
+// classic overlap model total = max(comm, compute + overhead), realized
+// event by event. Comms without the capability fall back to synchronous
+// execution inside Start (the body runs to completion before Start
+// returns a pre-completed token).
+type AsyncStarter interface {
+	StartAsync(body func() error) Async
+}
+
 // Comm is an MPI-like communicator bound to one rank (SPMD style: every
 // rank of a world executes the same program against its own Comm value).
 //
@@ -93,6 +121,16 @@ type Comm interface {
 	// on the live runtime, virtual seconds in the simulator. Used by the
 	// phase-breakdown instrumentation (Figures 13-16).
 	Now() float64
+
+	// Compute models `seconds` of application computation on this rank —
+	// the hook that lets one program body both run for real and be
+	// overlap-modeled. On the live runtime it is a validating no-op
+	// (wall-clock compute is real Go code; nothing sleeps). In the
+	// simulator it charges virtual time, minus whatever portion hides
+	// behind the rank's outstanding started operations (see AsyncStarter):
+	// a rank that calls Start, Compute, Wait pays
+	// max(comm, compute + software overhead), not their sum.
+	Compute(seconds float64) error
 
 	// Topo returns the world rank mapping, or nil on communicators that do
 	// not carry topology (sub-communicators). Algorithms query it on the

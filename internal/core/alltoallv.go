@@ -23,11 +23,21 @@ type Alltoallver interface {
 	// recvCounts[j] bytes from rank j into rdispls[j]. Counts must be
 	// globally consistent (recvCounts[j] here equals sendCounts of this
 	// rank on j) and each rank's send and receive totals must not exceed
-	// the maxTotal fixed at construction.
+	// the maxTotal fixed at construction. It is exactly Start followed
+	// by Wait.
 	Alltoallv(send comm.Buffer, sendCounts, sdispls []int,
 		recv comm.Buffer, recvCounts, rdispls []int) error
-	// Phases returns this rank's per-phase timings for the last Alltoallv
-	// call (empty for algorithms without internal phases).
+	// Start launches the same exchange off the caller's critical path
+	// and returns its handle. The buffers and count/displacement slices
+	// belong to the exchange until the handle completes; at most one
+	// exchange per operation may be outstanding.
+	Start(send comm.Buffer, sendCounts, sdispls []int,
+		recv comm.Buffer, recvCounts, rdispls []int) (Handle, error)
+	// Phases returns this rank's per-phase timings for the last
+	// completed exchange (empty for algorithms without internal phases).
+	// The returned map is the caller's copy: mutating it never affects
+	// the operation's timing state. It must not be called while an
+	// exchange is outstanding.
 	Phases() map[trace.Phase]float64
 }
 
@@ -90,6 +100,7 @@ type basicV struct {
 	c        comm.Comm
 	maxTotal int
 	rec      *trace.Recorder
+	st       OpState
 	run      func(c comm.Comm, send comm.Buffer, sendCounts, sdispls []int,
 		recv comm.Buffer, recvCounts, rdispls []int) error
 }
@@ -98,16 +109,27 @@ func (b *basicV) Name() string { return b.name }
 
 func (b *basicV) Phases() map[trace.Phase]float64 { return b.rec.Snapshot() }
 
+func (b *basicV) Start(send comm.Buffer, sendCounts, sdispls []int,
+	recv comm.Buffer, recvCounts, rdispls []int) (Handle, error) {
+	if err := checkVCall(b.c, b.maxTotal, send, sendCounts, sdispls, recv, recvCounts, rdispls); err != nil {
+		return nil, err
+	}
+	return b.st.Start(b.c, func() error {
+		b.rec.Reset()
+		stop := b.rec.Time(trace.PhaseTotal)
+		err := b.run(b.c, send, sendCounts, sdispls, recv, recvCounts, rdispls)
+		stop()
+		return err
+	})
+}
+
 func (b *basicV) Alltoallv(send comm.Buffer, sendCounts, sdispls []int,
 	recv comm.Buffer, recvCounts, rdispls []int) error {
-	if err := checkVCall(b.c, b.maxTotal, send, sendCounts, sdispls, recv, recvCounts, rdispls); err != nil {
+	h, err := b.Start(send, sendCounts, sdispls, recv, recvCounts, rdispls)
+	if err != nil {
 		return err
 	}
-	b.rec.Reset()
-	stop := b.rec.Time(trace.PhaseTotal)
-	err := b.run(b.c, send, sendCounts, sdispls, recv, recvCounts, rdispls)
-	stop()
-	return err
+	return h.Wait()
 }
 
 func newVPairwise(c comm.Comm, maxTotal int, _ Options) (Alltoallver, error) {

@@ -106,15 +106,27 @@ func (o Options) withDefaults() Options {
 // algorithms split communicators during setup), may be reused for any
 // number of exchanges up to the maxBlock fixed at construction, and are
 // not safe for concurrent use by multiple goroutines — like an MPI
-// persistent request, one rank drives one instance.
+// persistent request, one rank drives one instance. At most one exchange
+// per operation may be outstanding at a time: Start fails until the
+// previous handle has been completed by Wait or Test.
 type Alltoaller interface {
 	// Name returns the algorithm's registry name.
 	Name() string
 	// Alltoall exchanges block bytes per rank pair: send and recv must
-	// each hold Size()*block bytes.
+	// each hold Size()*block bytes. It is exactly Start followed by
+	// Wait.
 	Alltoall(send, recv comm.Buffer, block int) error
-	// Phases returns this rank's per-phase timings for the last Alltoall
-	// call (empty for algorithms without internal phases).
+	// Start launches the same exchange off the caller's critical path
+	// and returns its handle, so communication can overlap computation
+	// (real overlap on the live runtime, modeled overlap with
+	// comm.Compute in the simulator). The buffers belong to the exchange
+	// until the handle completes.
+	Start(send, recv comm.Buffer, block int) (Handle, error)
+	// Phases returns this rank's per-phase timings for the last
+	// completed exchange (empty for algorithms without internal phases).
+	// The returned map is the caller's copy: mutating it never affects
+	// the operation's timing state. It must not be called while an
+	// exchange is outstanding.
 	Phases() map[trace.Phase]float64
 }
 

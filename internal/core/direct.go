@@ -13,6 +13,7 @@ type basic struct {
 	c        comm.Comm
 	maxBlock int
 	rec      *trace.Recorder
+	st       OpState
 	run      func(c comm.Comm, send, recv comm.Buffer, block int) error
 }
 
@@ -20,15 +21,25 @@ func (b *basic) Name() string { return b.name }
 
 func (b *basic) Phases() map[trace.Phase]float64 { return b.rec.Snapshot() }
 
-func (b *basic) Alltoall(send, recv comm.Buffer, block int) error {
+func (b *basic) Start(send, recv comm.Buffer, block int) (Handle, error) {
 	if err := checkArgs(b.c, send, recv, block, b.maxBlock); err != nil {
+		return nil, err
+	}
+	return b.st.Start(b.c, func() error {
+		b.rec.Reset()
+		stop := b.rec.Time(trace.PhaseTotal)
+		err := b.run(b.c, send, recv, block)
+		stop()
+		return err
+	})
+}
+
+func (b *basic) Alltoall(send, recv comm.Buffer, block int) error {
+	h, err := b.Start(send, recv, block)
+	if err != nil {
 		return err
 	}
-	b.rec.Reset()
-	stop := b.rec.Time(trace.PhaseTotal)
-	err := b.run(b.c, send, recv, block)
-	stop()
-	return err
+	return h.Wait()
 }
 
 func newBasic(name string, c comm.Comm, maxBlock int,

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"alltoallx/internal/comm"
+)
+
+// This file is the request layer of the persistent-operation API: every
+// operation (Alltoaller, Alltoallver, and the collx collectives built on
+// the same machinery) exposes Start, which launches the exchange off the
+// caller's critical path and returns a Handle. The blocking methods are
+// Start+Wait shims, so the two forms are always equivalent.
+//
+// The substrate decides what "off the critical path" means through the
+// optional comm.AsyncStarter capability: the live runtime spawns a driver
+// goroutine per started exchange (real overlap with the caller's Go
+// code), while the simulator executes eagerly under virtual time and lets
+// comm.Compute hide behind the exchange's waiting time (modeled overlap).
+// A communicator without the capability degrades to synchronous execution
+// inside Start.
+
+// Handle is an in-flight started collective exchange — the MPI-4 request
+// of a persistent operation. Like the operation that issued it, a handle
+// is driven by one goroutine (the rank that started it) and is not safe
+// for concurrent use.
+type Handle interface {
+	// Wait blocks until the exchange completes and returns its error.
+	// Waiting an already-completed handle is a no-op returning the same
+	// error again (MPI's inactive-request semantics).
+	Wait() error
+	// Test polls for completion without blocking. Once it has returned
+	// done=true the handle is complete (err carries the exchange error,
+	// and further Test/Wait calls keep returning it); while done is
+	// false, err is always nil.
+	Test() (done bool, err error)
+}
+
+// WaitAll waits for every handle, ignoring nil entries (MPI_REQUEST_NULL
+// style), and returns the joined errors of the failures.
+func WaitAll(hs []Handle) error {
+	var errs []error
+	for _, h := range hs {
+		if h == nil {
+			continue
+		}
+		if err := h.Wait(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// ErrPending is returned (wrapped) by Start when the operation's previous
+// handle has not been completed by Wait or Test: persistent operations
+// allow at most one outstanding exchange, mirroring MPI persistent
+// requests (and protecting the staging buffers an exchange reuses).
+var ErrPending = errors.New("operation has an outstanding handle")
+
+// OpState is the nonblocking bookkeeping embedded in every persistent
+// operation. Its Start enforces the one-outstanding-exchange rule and
+// dispatches the body to the communicator's async capability.
+type OpState struct {
+	pending *opHandle
+}
+
+// Start launches body off the caller's critical path on c's substrate and
+// returns its handle. It fails if the operation's previous handle is
+// still outstanding.
+func (s *OpState) Start(c comm.Comm, body func() error) (Handle, error) {
+	if s.pending != nil {
+		return nil, fmt.Errorf("core: %w (complete it with Wait or Test before starting another exchange)", ErrPending)
+	}
+	var a comm.Async
+	if st, ok := c.(comm.AsyncStarter); ok {
+		a = st.StartAsync(body)
+	} else {
+		a = completedAsync{err: body()}
+	}
+	h := &opHandle{owner: s, a: a}
+	s.pending = h
+	return h, nil
+}
+
+// opHandle implements Handle over a substrate token, caching the result
+// so completion is observed exactly once and the owner is released
+// exactly once.
+type opHandle struct {
+	owner *OpState
+	a     comm.Async
+	done  bool
+	err   error
+}
+
+func (h *opHandle) finish(err error) {
+	h.done = true
+	h.err = err
+	if h.owner.pending == h {
+		h.owner.pending = nil
+	}
+}
+
+// Wait blocks until the exchange completes.
+func (h *opHandle) Wait() error {
+	if h.done {
+		return h.err
+	}
+	h.finish(h.a.Join())
+	return h.err
+}
+
+// Test polls for completion without blocking.
+func (h *opHandle) Test() (bool, error) {
+	if h.done {
+		return true, h.err
+	}
+	done, err := h.a.TryJoin()
+	if !done {
+		return false, nil
+	}
+	h.finish(err)
+	return true, h.err
+}
+
+// completedAsync is the fallback token for communicators without the
+// comm.AsyncStarter capability: the body already ran synchronously.
+type completedAsync struct{ err error }
+
+func (a completedAsync) Join() error            { return a.err }
+func (a completedAsync) TryJoin() (bool, error) { return true, a.err }

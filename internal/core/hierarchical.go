@@ -82,6 +82,7 @@ type hierarchical struct {
 	gatherKind coll.Kind
 	maxBlock   int
 	rec        *trace.Recorder
+	st         OpState
 
 	myGroup  int // group index within my node
 	isLeader bool
@@ -142,10 +143,22 @@ func (h *hierarchical) leaderWorld(d, j int) int {
 	return node*h.info.ppn + g*h.q + j
 }
 
-func (h *hierarchical) Alltoall(send, recv comm.Buffer, block int) error {
+func (h *hierarchical) Start(send, recv comm.Buffer, block int) (Handle, error) {
 	if err := checkArgs(h.c, send, recv, block, h.maxBlock); err != nil {
+		return nil, err
+	}
+	return h.st.Start(h.c, func() error { return h.exchange(send, recv, block) })
+}
+
+func (h *hierarchical) Alltoall(send, recv comm.Buffer, block int) error {
+	hd, err := h.Start(send, recv, block)
+	if err != nil {
 		return err
 	}
+	return hd.Wait()
+}
+
+func (h *hierarchical) exchange(send, recv comm.Buffer, block int) error {
 	h.rec.Reset()
 	stopTotal := h.rec.Time(trace.PhaseTotal)
 	defer stopTotal()

@@ -32,6 +32,7 @@ type mlNodeAware struct {
 	gatherKind coll.Kind
 	maxBlock   int
 	rec        *trace.Recorder
+	st         OpState
 	isLeader   bool
 
 	bufA, bufB comm.Buffer // leader staging: q*p*maxBlock each
@@ -86,10 +87,22 @@ func (m *mlNodeAware) Name() string { return "multileader-node-aware" }
 
 func (m *mlNodeAware) Phases() map[trace.Phase]float64 { return m.rec.Snapshot() }
 
-func (m *mlNodeAware) Alltoall(send, recv comm.Buffer, block int) error {
+func (m *mlNodeAware) Start(send, recv comm.Buffer, block int) (Handle, error) {
 	if err := checkArgs(m.c, send, recv, block, m.maxBlock); err != nil {
+		return nil, err
+	}
+	return m.st.Start(m.c, func() error { return m.exchange(send, recv, block) })
+}
+
+func (m *mlNodeAware) Alltoall(send, recv comm.Buffer, block int) error {
+	h, err := m.Start(send, recv, block)
+	if err != nil {
 		return err
 	}
+	return h.Wait()
+}
+
+func (m *mlNodeAware) exchange(send, recv comm.Buffer, block int) error {
 	m.rec.Reset()
 	stopTotal := m.rec.Time(trace.PhaseTotal)
 	defer stopTotal()

@@ -32,6 +32,7 @@ type nodeAware struct {
 	inner    Inner
 	maxBlock int
 	rec      *trace.Recorder
+	st       OpState
 
 	bufA, bufB comm.Buffer // staging: p*maxBlock each
 }
@@ -85,10 +86,22 @@ func (na *nodeAware) groupWorld(t, i int) int {
 	return node*na.info.ppn + k*na.g + i
 }
 
-func (na *nodeAware) Alltoall(send, recv comm.Buffer, block int) error {
+func (na *nodeAware) Start(send, recv comm.Buffer, block int) (Handle, error) {
 	if err := checkArgs(na.c, send, recv, block, na.maxBlock); err != nil {
+		return nil, err
+	}
+	return na.st.Start(na.c, func() error { return na.exchange(send, recv, block) })
+}
+
+func (na *nodeAware) Alltoall(send, recv comm.Buffer, block int) error {
+	h, err := na.Start(send, recv, block)
+	if err != nil {
 		return err
 	}
+	return h.Wait()
+}
+
+func (na *nodeAware) exchange(send, recv comm.Buffer, block int) error {
 	na.rec.Reset()
 	stopTotal := na.rec.Time(trace.PhaseTotal)
 	defer stopTotal()

@@ -22,6 +22,7 @@ type systemMPI struct {
 	smallMax int
 	midMax   int
 	maxBlock int
+	st       OpState
 	last     Alltoaller
 }
 
@@ -72,9 +73,13 @@ func (s *systemMPI) Phases() map[trace.Phase]float64 {
 	return s.last.Phases()
 }
 
-func (s *systemMPI) Alltoall(send, recv comm.Buffer, block int) error {
+// Start selects the size-thresholded path (eagerly — selection is local
+// arithmetic) and launches its exchange off the critical path. The
+// one-outstanding-handle rule is enforced at this level, so alternating
+// block sizes cannot put two inner paths in flight at once.
+func (s *systemMPI) Start(send, recv comm.Buffer, block int) (Handle, error) {
 	if err := checkArgs(s.c, send, recv, block, s.maxBlock); err != nil {
-		return err
+		return nil, err
 	}
 	switch {
 	case block <= s.smallMax:
@@ -84,5 +89,14 @@ func (s *systemMPI) Alltoall(send, recv comm.Buffer, block int) error {
 	default:
 		s.last = s.large
 	}
-	return s.last.Alltoall(send, recv, block)
+	inst := s.last
+	return s.st.Start(s.c, func() error { return inst.Alltoall(send, recv, block) })
+}
+
+func (s *systemMPI) Alltoall(send, recv comm.Buffer, block int) error {
+	h, err := s.Start(send, recv, block)
+	if err != nil {
+		return err
+	}
+	return h.Wait()
 }

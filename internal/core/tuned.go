@@ -137,7 +137,8 @@ type tuned struct {
 	maxBlock int
 	spec     *Dispatch
 	insts    []Alltoaller // lazily constructed, indexed like spec.Entries
-	last     int          // bucket used by the previous call, -1 before any
+	st       OpState
+	last     int // bucket used by the previous call, -1 before any
 }
 
 func newTuned(c comm.Comm, maxBlock int, o Options) (Alltoaller, error) {
@@ -205,10 +206,30 @@ func dispatchBucket(entries []DispatchEntry, size float64, last int) int {
 	return nominal
 }
 
-func (t *tuned) Alltoall(send, recv comm.Buffer, block int) error {
+// Start dispatches and launches the winning algorithm's exchange off the
+// critical path. Bucket choice, lazy construction and the t.last update
+// all run inside the started body (on the driver goroutine in the live
+// runtime), keeping Start itself nonblocking even on a first-in-bucket
+// call whose collective construction communicates; every rank sees the
+// same block sequence, so all ranks construct the same instance on the
+// same call regardless of which goroutine performs it. Picked and Phases
+// reflect a started exchange only after its handle completes.
+func (t *tuned) Start(send, recv comm.Buffer, block int) (Handle, error) {
 	if err := checkArgs(t.c, send, recv, block, t.maxBlock); err != nil {
+		return nil, err
+	}
+	return t.st.Start(t.c, func() error { return t.dispatch(send, recv, block) })
+}
+
+func (t *tuned) Alltoall(send, recv comm.Buffer, block int) error {
+	h, err := t.Start(send, recv, block)
+	if err != nil {
 		return err
 	}
+	return h.Wait()
+}
+
+func (t *tuned) dispatch(send, recv comm.Buffer, block int) error {
 	i := t.bucket(block)
 	if t.insts[i] == nil {
 		e := t.spec.Entries[i]

@@ -25,7 +25,8 @@ type tunedV struct {
 	maxTotal int
 	spec     *Dispatch
 	insts    []Alltoallver // lazily constructed, indexed like spec.Entries
-	last     int           // agreed bucket of the previous call, -1 before any
+	st       OpState
+	last     int // agreed bucket of the previous call, -1 before any
 
 	abuf, bbuf comm.Buffer // 8-byte agreement staging (always real)
 }
@@ -81,11 +82,32 @@ func (t *tunedV) agreeBucket(proposal int) (int, error) {
 
 func (t *tunedV) Name() string { return algoTuned }
 
+// Start launches dispatch and exchange off the critical path. The bucket
+// agreement allreduce, lazy construction and the t.last update all run
+// inside the started body (agreement is communication — exactly what a
+// nonblocking Start must not do on the caller), so Picked and Phases
+// reflect a started exchange only after its handle completes.
+func (t *tunedV) Start(send comm.Buffer, sendCounts, sdispls []int,
+	recv comm.Buffer, recvCounts, rdispls []int) (Handle, error) {
+	if err := checkVCall(t.c, t.maxTotal, send, sendCounts, sdispls, recv, recvCounts, rdispls); err != nil {
+		return nil, err
+	}
+	return t.st.Start(t.c, func() error {
+		return t.dispatch(send, sendCounts, sdispls, recv, recvCounts, rdispls)
+	})
+}
+
 func (t *tunedV) Alltoallv(send comm.Buffer, sendCounts, sdispls []int,
 	recv comm.Buffer, recvCounts, rdispls []int) error {
-	if err := checkVCall(t.c, t.maxTotal, send, sendCounts, sdispls, recv, recvCounts, rdispls); err != nil {
+	h, err := t.Start(send, sendCounts, sdispls, recv, recvCounts, rdispls)
+	if err != nil {
 		return err
 	}
+	return h.Wait()
+}
+
+func (t *tunedV) dispatch(send comm.Buffer, sendCounts, sdispls []int,
+	recv comm.Buffer, recvCounts, rdispls []int) error {
 	mean := float64(sumCounts(sendCounts)) / float64(t.c.Size())
 	i, err := t.agreeBucket(dispatchBucket(t.spec.Entries, mean, t.last))
 	if err != nil {

@@ -56,6 +56,7 @@ type vLeadered struct {
 	inner    Inner
 	maxTotal int
 	rec      *trace.Recorder
+	st       OpState
 
 	cntSend comm.Buffer // my 2p counts, encoded (always real: control data)
 	cntRecv comm.Buffer // leader: q*2p gathered counts (always real)
@@ -124,11 +125,27 @@ func (v *vLeadered) Phases() map[trace.Phase]float64 { return v.rec.Snapshot() }
 // is simply d*q + j.
 func (v *vLeadered) groupWorld(d, j int) int { return d*v.q + j }
 
+func (v *vLeadered) Start(send comm.Buffer, sendCounts, sdispls []int,
+	recv comm.Buffer, recvCounts, rdispls []int) (Handle, error) {
+	if err := checkVCall(v.c, v.maxTotal, send, sendCounts, sdispls, recv, recvCounts, rdispls); err != nil {
+		return nil, err
+	}
+	return v.st.Start(v.c, func() error {
+		return v.exchange(send, sendCounts, sdispls, recv, recvCounts, rdispls)
+	})
+}
+
 func (v *vLeadered) Alltoallv(send comm.Buffer, sendCounts, sdispls []int,
 	recv comm.Buffer, recvCounts, rdispls []int) error {
-	if err := checkVCall(v.c, v.maxTotal, send, sendCounts, sdispls, recv, recvCounts, rdispls); err != nil {
+	h, err := v.Start(send, sendCounts, sdispls, recv, recvCounts, rdispls)
+	if err != nil {
 		return err
 	}
+	return h.Wait()
+}
+
+func (v *vLeadered) exchange(send comm.Buffer, sendCounts, sdispls []int,
+	recv comm.Buffer, recvCounts, rdispls []int) error {
 	v.rec.Reset()
 	stopTotal := v.rec.Time(trace.PhaseTotal)
 	defer stopTotal()

@@ -137,7 +137,10 @@ type Comm struct {
 	barrierHi int // unused counter kept for symmetry/debugging
 }
 
-var _ comm.Comm = (*Comm)(nil)
+var (
+	_ comm.Comm         = (*Comm)(nil)
+	_ comm.AsyncStarter = (*Comm)(nil)
+)
 
 // Rank returns this process's rank in the communicator.
 func (c *Comm) Rank() int { return c.rank }
@@ -170,6 +173,59 @@ func (c *Comm) ChargeCopy(bytes, blocks int) error {
 		return fmt.Errorf("runtime: ChargeCopy(%d, %d): negative argument", bytes, blocks)
 	}
 	return nil
+}
+
+// Compute is a validating no-op on the live runtime: wall-clock compute is
+// real Go code executed by the caller, so there is nothing to charge and
+// nothing sleeps. The method exists so a program body written against
+// comm.Comm can be overlap-modeled unchanged in the simulator.
+func (c *Comm) Compute(seconds float64) error {
+	if seconds < 0 {
+		return fmt.Errorf("runtime: Compute(%g): negative duration", seconds)
+	}
+	return nil
+}
+
+// asyncOp is the live runtime's comm.Async: one driver goroutine runs the
+// body; done closes when it finishes.
+type asyncOp struct {
+	done chan struct{}
+	err  error
+}
+
+// Join blocks until the driver goroutine finishes.
+func (a *asyncOp) Join() error {
+	<-a.done
+	return a.err
+}
+
+// TryJoin polls the driver goroutine without blocking.
+func (a *asyncOp) TryJoin() (bool, error) {
+	select {
+	case <-a.done:
+		return true, a.err
+	default:
+		return false, nil
+	}
+}
+
+// StartAsync spawns a driver goroutine for a started collective body — the
+// live runtime's comm.AsyncStarter. The mailbox, barrier and split tables
+// are all mutex-protected, so the driver may exchange messages while the
+// rank's main goroutine computes; a panicking body is converted into an
+// error rather than taking down the process.
+func (c *Comm) StartAsync(body func() error) comm.Async {
+	a := &asyncOp{done: make(chan struct{})}
+	go func() {
+		defer close(a.done)
+		defer func() {
+			if p := recover(); p != nil {
+				a.err = fmt.Errorf("runtime: started operation panicked: %v", p)
+			}
+		}()
+		a.err = body()
+	}()
+	return a
 }
 
 // Send blocks until the message is buffered (eager) or received

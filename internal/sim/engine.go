@@ -128,6 +128,8 @@ type Proc struct {
 
 	e          *Engine
 	now        float64
+	busy       float64 // CPU-busy virtual seconds (Advance charges only)
+	overlap    []*simToken
 	next       func() (struct{}, bool)
 	stop       func()
 	yield      func(struct{}) bool
@@ -236,12 +238,23 @@ func (p *Proc) Now() float64 { return p.now }
 
 // Advance moves the local clock forward by dt seconds (local compute or
 // overhead; touches no shared state, so no synchronization is needed).
+// Advanced time is CPU-busy time: it accumulates in Busy, distinguishing
+// it from the waiting time a parked process's clock gains through WakeAt.
+// The busy/waiting split is what the overlap model charges against — only
+// waiting can hide behind application compute.
 func (p *Proc) Advance(dt float64) {
 	if dt < 0 {
 		panic(fmt.Sprintf("sim: Advance(%g): negative duration", dt))
 	}
 	p.now += dt
+	p.busy += dt
 }
+
+// Busy returns the cumulative CPU-busy virtual seconds charged to this
+// process via Advance (overheads, copies, compute). Elapsed minus busy
+// over an interval is the time the process spent parked — waiting on
+// message completions, barriers, or global-time synchronization.
+func (p *Proc) Busy() float64 { return p.busy }
 
 // park suspends the process until some event resumes it via transfer.
 func (p *Proc) park(reason string) {

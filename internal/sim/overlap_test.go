@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"testing"
+
+	"alltoallx/internal/comm"
+	"alltoallx/internal/core"
+	"alltoallx/internal/netmodel"
+)
+
+// TestComputeChargesVirtualTime: with no started operation in flight,
+// Compute is exactly a local clock advance.
+func TestComputeChargesVirtualTime(t *testing.T) {
+	cfg := ClusterConfig{Model: netmodel.Dane(), Nodes: 1, PPN: 2, Seed: 1}
+	_, err := RunCluster(cfg, func(c comm.Comm) error {
+		t0 := c.Now()
+		if err := c.Compute(0.25); err != nil {
+			return err
+		}
+		if got := c.Now() - t0; got < 0.25-1e-12 || got > 0.25+1e-12 {
+			t.Errorf("rank %d: Compute(0.25) advanced %g s", c.Rank(), got)
+		}
+		if err := c.Compute(-1); err == nil {
+			t.Error("negative Compute: no error")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOverlapHidesComputeBehindStart: a Start / Compute / Wait sequence
+// must cost less virtual time than the blocking exchange plus the same
+// compute — the overlap model at work — while never undercutting the
+// exchange itself.
+func TestOverlapHidesComputeBehindStart(t *testing.T) {
+	const (
+		nodes = 2
+		ppn   = 4
+		block = 4096
+	)
+	run := func(body func(c comm.Comm) error) {
+		t.Helper()
+		cfg := ClusterConfig{Model: netmodel.Dane(), Nodes: nodes, PPN: ppn, Seed: 7}
+		if _, err := RunCluster(cfg, body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := nodes * ppn
+	durs := make([]float64, p)
+	run(func(c comm.Comm) error {
+		a, err := core.New("pairwise", c, block, core.Options{})
+		if err != nil {
+			return err
+		}
+		send, recv := comm.Virtual(p*block), comm.Virtual(p*block)
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		t0 := c.Now()
+		if err := a.Alltoall(send, recv, block); err != nil {
+			return err
+		}
+		durs[c.Rank()] = c.Now() - t0
+		return nil
+	})
+	tComm := 0.0
+	for _, d := range durs {
+		if d > tComm {
+			tComm = d
+		}
+	}
+	if tComm <= 0 {
+		t.Fatalf("blocking exchange took %g s", tComm)
+	}
+
+	compute := tComm // fully hideable in the ideal case
+	async := make([]float64, p)
+	run(func(c comm.Comm) error {
+		a, err := core.New("pairwise", c, block, core.Options{})
+		if err != nil {
+			return err
+		}
+		send, recv := comm.Virtual(p*block), comm.Virtual(p*block)
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		t0 := c.Now()
+		h, err := a.Start(send, recv, block)
+		if err != nil {
+			return err
+		}
+		if err := c.Compute(compute); err != nil {
+			return err
+		}
+		if err := h.Wait(); err != nil {
+			return err
+		}
+		async[c.Rank()] = c.Now() - t0
+		return nil
+	})
+	tAsync := 0.0
+	for _, d := range async {
+		if d > tAsync {
+			tAsync = d
+		}
+	}
+	seq := tComm + compute
+	if tAsync >= seq*0.95 {
+		t.Errorf("no overlap: async %g s vs sequential %g s", tAsync, seq)
+	}
+	if tAsync < tComm*0.99 {
+		t.Errorf("async %g s undercuts the exchange itself (%g s): overlap model rebated too much", tAsync, tComm)
+	}
+}
+
+// TestOverlapBudgetWithdrawnAtWait: compute issued after the handle is
+// waited pays full price — the budget dies with the handle.
+func TestOverlapBudgetWithdrawnAtWait(t *testing.T) {
+	const block = 4096
+	cfg := ClusterConfig{Model: netmodel.Dane(), Nodes: 2, PPN: 2, Seed: 3}
+	_, err := RunCluster(cfg, func(c comm.Comm) error {
+		p := c.Size()
+		a, err := core.New("pairwise", c, block, core.Options{})
+		if err != nil {
+			return err
+		}
+		send, recv := comm.Virtual(p*block), comm.Virtual(p*block)
+		h, err := a.Start(send, recv, block)
+		if err != nil {
+			return err
+		}
+		if err := h.Wait(); err != nil {
+			return err
+		}
+		t0 := c.Now()
+		if err := c.Compute(0.5); err != nil {
+			return err
+		}
+		if got := c.Now() - t0; got < 0.5-1e-12 {
+			t.Errorf("rank %d: post-Wait Compute charged only %g s (budget leaked past Wait)", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -22,7 +22,10 @@ type SimComm struct {
 	splitSeq int
 }
 
-var _ comm.Comm = (*SimComm)(nil)
+var (
+	_ comm.Comm         = (*SimComm)(nil)
+	_ comm.AsyncStarter = (*SimComm)(nil)
+)
 
 // Rank returns this process's rank in the communicator.
 func (c *SimComm) Rank() int { return c.rank }
@@ -50,6 +53,93 @@ func (c *SimComm) Memcpy(dst, src comm.Buffer) error {
 // count to this rank's clock.
 func (c *SimComm) ChargeCopy(bytes, blocks int) error {
 	return c.cl.net.ChargeCopy(c.p, bytes, blocks)
+}
+
+// Compute charges `seconds` of application computation to this rank's
+// virtual clock, minus whatever portion hides behind the rank's
+// outstanding started operations (see StartAsync). With no operation in
+// flight it is exactly an Advance: compute is CPU-busy time. The charge is
+// purely local — no shared simulator state is touched — so no global-time
+// synchronization is needed.
+func (c *SimComm) Compute(seconds float64) error {
+	if seconds < 0 {
+		return fmt.Errorf("sim: Compute(%g): negative duration", seconds)
+	}
+	remaining := seconds
+	for _, tok := range c.p.overlap {
+		if remaining <= 0 {
+			break
+		}
+		hide := tok.budget
+		if hide > remaining {
+			hide = remaining
+		}
+		tok.budget -= hide
+		remaining -= hide
+	}
+	c.p.Advance(remaining)
+	return nil
+}
+
+// simToken is the simulator's comm.Async. The body has already executed
+// eagerly by the time the token exists (see StartAsync); what remains is
+// its overlap budget — the waiting time the exchange left on the table,
+// which Compute calls on the same rank draw down until the token is
+// joined.
+type simToken struct {
+	p      *Proc
+	err    error
+	budget float64 // waited seconds still hideable behind Compute
+}
+
+// Join completes the token, withdrawing any unconsumed overlap budget:
+// once the handle is waited, later compute can no longer pretend to have
+// run during the exchange.
+func (t *simToken) Join() error {
+	t.release()
+	return t.err
+}
+
+// TryJoin reports completion (always true: the body ran eagerly) and
+// releases the budget like Join.
+func (t *simToken) TryJoin() (bool, error) {
+	t.release()
+	return true, t.err
+}
+
+func (t *simToken) release() {
+	for i, tok := range t.p.overlap {
+		if tok == t {
+			t.p.overlap = append(t.p.overlap[:i], t.p.overlap[i+1:]...)
+			return
+		}
+	}
+}
+
+// StartAsync is the simulator's comm.AsyncStarter. A simulated rank is a
+// single coroutine under the event loop, so the body cannot literally run
+// concurrently with the caller; instead it executes eagerly — advancing
+// virtual time and moving messages exactly as the blocking call would —
+// and the time the rank spent *parked* during the exchange (waiting on
+// completions rather than busy with overheads and copies) is banked as an
+// overlap budget. Subsequent Compute calls consume that budget before
+// charging the clock, so a Start / Compute / Wait sequence costs
+// busy + max(compute, waited) = max(T_comm, compute + busy): the classic
+// overlap model in which only software overhead is unhideable. Messages
+// still traverse the network at their blocking-call times — an
+// approximation that preserves aggregate contention, since every rank of
+// an SPMD program overlaps the same way.
+func (c *SimComm) StartAsync(body func() error) comm.Async {
+	p := c.p
+	t0, b0 := p.Now(), p.Busy()
+	err := body()
+	waited := (p.Now() - t0) - (p.Busy() - b0)
+	if waited < 0 {
+		waited = 0
+	}
+	tok := &simToken{p: p, err: err, budget: waited}
+	p.overlap = append(p.overlap, tok)
+	return tok
 }
 
 // Send blocks until the message is injected (eager) or transferred
