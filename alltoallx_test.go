@@ -13,8 +13,18 @@ import (
 func TestAlgorithmsList(t *testing.T) {
 	t.Parallel()
 	algos := alltoallx.Algorithms()
-	if len(algos) != 11 {
+	// 11 loop-coded algorithms plus the six schedule-backed ones.
+	if len(algos) != 17 {
 		t.Fatalf("Algorithms() = %v", algos)
+	}
+	sched := 0
+	for _, a := range algos {
+		if len(a) > 6 && a[:6] == "sched:" {
+			sched++
+		}
+	}
+	if sched != 6 {
+		t.Fatalf("want 6 sched:* algorithms in %v", algos)
 	}
 }
 

@@ -1,0 +1,261 @@
+// Command a2asched generates, verifies, diffs and pretty-prints
+// communication schedules — the offline tooling of the internal/sched
+// subsystem. Schedules are shareable JSON artifacts like autotune tables:
+// generate one per world shape, verify it statically (every block
+// delivered exactly once, every send matched within its round, all
+// offsets in range), and ship it for inspection or execution
+// (core.New("sched:<generator>", ...) compiles and verifies the same
+// schedules at construction).
+//
+// Usage:
+//
+//	a2asched list
+//	a2asched gen -name ring -ranks 16 -o ring16.json
+//	a2asched gen -name torus -nodes 4 -ppn 8 -o torus4x8.json
+//	a2asched verify ring16.json
+//	a2asched print ring16.json
+//	a2asched diff ring16.json torus4x8.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"alltoallx/internal/sched"
+	"alltoallx/internal/topo"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = runList()
+	case "gen":
+		err = runGen(os.Args[2:])
+	case "verify":
+		err = runVerify(os.Args[2:])
+	case "print":
+		err = runPrint(os.Args[2:])
+	case "diff":
+		err = runDiff(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "a2asched: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "a2asched:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `a2asched <command> [flags]
+
+commands:
+  list                      list schedule generators
+  gen    -name G -ranks N   generate + verify a schedule (JSON to -o or stdout)
+         [-nodes N -ppn P]  give the generator a topology (torus grid); implies -ranks
+  verify <file>             statically verify a schedule artifact
+  print  <file>             stats and per-round message matrices
+  diff   <a> <b>            compare two schedules round by round
+`)
+}
+
+func runList() error {
+	for _, g := range sched.Generators() {
+		fmt.Println(g)
+	}
+	return nil
+}
+
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	var (
+		name  = fs.String("name", "ring", "generator name (see a2asched list)")
+		ranks = fs.Int("ranks", 0, "world size in ranks (or use -nodes and -ppn)")
+		nodes = fs.Int("nodes", 0, "node count (with -ppn: shapes topology-aware generators)")
+		ppn   = fs.Int("ppn", 0, "ranks per node")
+		out   = fs.String("o", "", "write the schedule JSON to this path (default stdout)")
+	)
+	fs.Parse(args)
+	var m *topo.Mapping
+	p := *ranks
+	if *nodes > 0 || *ppn > 0 {
+		if *nodes <= 0 || *ppn <= 0 {
+			return fmt.Errorf("-nodes and -ppn must be given together")
+		}
+		var err error
+		// The generator only consumes the nodes x ppn grid; a flat
+		// one-core-per-rank node shape carries it.
+		m, err = topo.NewMapping(topo.Spec{Sockets: 1, NumaPerSocket: 1, CoresPerNuma: *ppn}, *nodes, *ppn)
+		if err != nil {
+			return err
+		}
+		if p != 0 && p != m.Size() {
+			return fmt.Errorf("-ranks %d contradicts -nodes %d x -ppn %d", p, *nodes, *ppn)
+		}
+		p = m.Size()
+	}
+	if p <= 0 {
+		return fmt.Errorf("need -ranks (or -nodes and -ppn)")
+	}
+	s, err := sched.Generate(*name, p, m)
+	if err != nil {
+		return err
+	}
+	if err := sched.Verify(s); err != nil {
+		return fmt.Errorf("generated schedule fails verification (a generator bug): %w", err)
+	}
+	if *out == "" {
+		return s.Encode(os.Stdout)
+	}
+	if err := s.Save(*out); err != nil {
+		return err
+	}
+	st := s.Stats()
+	fmt.Printf("wrote %s: %q for %d ranks, %d rounds, %d messages, %d wire blocks (verified)\n",
+		*out, s.Name, s.Ranks, st.Rounds, st.Messages, st.WireBlocks)
+	return nil
+}
+
+func oneFile(cmd string, args []string) (string, error) {
+	if len(args) != 1 {
+		return "", fmt.Errorf("usage: a2asched %s <file>", cmd)
+	}
+	return args[0], nil
+}
+
+func runVerify(args []string) error {
+	path, err := oneFile("verify", args)
+	if err != nil {
+		return err
+	}
+	s, err := sched.Load(path)
+	if err != nil {
+		return err
+	}
+	if err := sched.Verify(s); err != nil {
+		return fmt.Errorf("%s: FAIL: %w", path, err)
+	}
+	st := s.Stats()
+	fmt.Printf("%s: OK — %q delivers all %d blocks exactly once over %d rounds (%d messages, %d wire blocks, %d repack copies)\n",
+		path, s.Name, s.Ranks*s.Ranks, st.Rounds, st.Messages, st.WireBlocks, st.Copies)
+	return nil
+}
+
+func runPrint(args []string) error {
+	path, err := oneFile("print", args)
+	if err != nil {
+		return err
+	}
+	s, err := sched.Load(path)
+	if err != nil {
+		return err
+	}
+	// print renders broken schedules too (that is what inspection is
+	// for), but says so up front.
+	if err := sched.Verify(s); err != nil {
+		fmt.Printf("note: schedule fails verification: %v\n", err)
+	}
+	st := s.Stats()
+	fmt.Printf("schedule %q: %d ranks, %d rounds\n", s.Name, s.Ranks, st.Rounds)
+	fmt.Printf("  messages      %d (max %d per round)\n", st.Messages, st.MaxRoundMessages)
+	fmt.Printf("  wire volume   %d blocks\n", st.WireBlocks)
+	fmt.Printf("  repack        %d copies, %d blocks\n", st.Copies, st.CopyBlocks)
+	fmt.Printf("  scratch       %d blocks per rank\n", st.ScratchBlocks)
+	for ri := range s.Rounds {
+		m := s.RoundMatrix(ri)
+		msgs, vol := 0, 0
+		for _, row := range m {
+			for _, n := range row {
+				if n > 0 {
+					msgs++
+					vol += n
+				}
+			}
+		}
+		fmt.Printf("round %d: %d messages, %d blocks\n", ri, msgs, vol)
+		if s.Ranks > 16 {
+			continue // matrices get unreadable; stats only
+		}
+		for src, row := range m {
+			fmt.Printf("  %3d |", src)
+			for _, n := range row {
+				if n == 0 {
+					fmt.Printf("  .")
+				} else {
+					fmt.Printf(" %2d", n)
+				}
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+func runDiff(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: a2asched diff <a> <b>")
+	}
+	a, err := sched.Load(args[0])
+	if err != nil {
+		return err
+	}
+	b, err := sched.Load(args[1])
+	if err != nil {
+		return err
+	}
+	diffs := 0
+	report := func(format string, argv ...any) {
+		if diffs < 20 {
+			fmt.Printf(format+"\n", argv...)
+		}
+		diffs++
+	}
+	if a.Name != b.Name {
+		report("name: %q vs %q", a.Name, b.Name)
+	}
+	if a.Ranks != b.Ranks {
+		report("ranks: %d vs %d", a.Ranks, b.Ranks)
+	}
+	ra, rb := len(a.Rounds), len(b.Rounds)
+	if ra != rb {
+		report("rounds: %d vs %d", ra, rb)
+	}
+	if a.Ranks == b.Ranks {
+		n := ra
+		if rb < n {
+			n = rb
+		}
+		for ri := 0; ri < n; ri++ {
+			ma, mb := a.RoundMatrix(ri), b.RoundMatrix(ri)
+			for s := 0; s < a.Ranks; s++ {
+				for d := 0; d < a.Ranks; d++ {
+					if ma[s][d] != mb[s][d] {
+						report("round %d: %d->%d sends %d vs %d blocks", ri, s, d, ma[s][d], mb[s][d])
+					}
+				}
+			}
+		}
+	}
+	sa, sb := a.Stats(), b.Stats()
+	fmt.Printf("totals: %d vs %d messages, %d vs %d wire blocks, %d vs %d copies\n",
+		sa.Messages, sb.Messages, sa.WireBlocks, sb.WireBlocks, sa.Copies, sb.Copies)
+	if diffs == 0 {
+		fmt.Println("schedules are equivalent (same per-round message matrices)")
+		return nil
+	}
+	if diffs > 20 {
+		fmt.Printf("... and %d more differences\n", diffs-20)
+	}
+	return fmt.Errorf("schedules differ (%d differences)", diffs)
+}

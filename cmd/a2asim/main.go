@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"alltoallx/internal/autotune"
 	"alltoallx/internal/bench"
@@ -23,7 +24,7 @@ import (
 
 func main() {
 	var (
-		machine   = flag.String("machine", "Dane", "machine model: Dane, Amber, Tuolomne")
+		machine   = flag.String("machine", "Dane", "machine model: "+strings.Join(netmodel.Names(), ", "))
 		nodes     = flag.Int("nodes", 8, "node count")
 		ppn       = flag.Int("ppn", 0, "ranks per node (0 = all cores)")
 		opName    = flag.String("op", "alltoall", "collective: alltoall or alltoallv (block = mean bytes per peer)")

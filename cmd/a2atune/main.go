@@ -31,7 +31,7 @@ import (
 
 func main() {
 	var (
-		machine = flag.String("machine", "Dane", "machine model: Dane, Amber, Tuolomne")
+		machine = flag.String("machine", "Dane", "machine model: "+strings.Join(netmodel.Names(), ", "))
 		nodes   = flag.Int("nodes", 8, "node count")
 		ppn     = flag.Int("ppn", 0, "ranks per node (0 = all cores)")
 		opName  = flag.String("op", "alltoall", "collective to tune: alltoall or alltoallv")
@@ -59,7 +59,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cands := autotune.DefaultCandidates(op, p)
+	cands := autotune.DefaultCandidates(op, *nodes, p)
 	fmt.Printf("tuning %s on %s: %d nodes x %d ranks, %d candidates x %d sizes\n",
 		op, m.Name, *nodes, p, len(cands), len(sz))
 	// Assemble the table directly from the winners printed below, so each

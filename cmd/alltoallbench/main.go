@@ -35,7 +35,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment ID (fig7..fig18, table1, headline, overlap) or 'all'")
+		experiment = flag.String("experiment", "all", "experiment ID (fig7..fig18, table1, headline, overlap, regress) or 'all'")
 		scaleName  = flag.String("scale", "quick", "reproduction scale: quick or full")
 		nodes      = flag.Int("nodes", 0, "override node count (0 = experiment default)")
 		ppn        = flag.Int("ppn", 0, "override ranks per node (0 = scale default)")
@@ -49,11 +49,13 @@ func main() {
 		algoList = flag.String("algo", "",
 			"with -table: comma-separated algorithms to compare (tuned = the table's dispatcher; default depends on -op)")
 		machineName = flag.String("machine", "Dane",
-			"with -experiment overlap: machine preset (Dane, Amber, Tuolomne)")
+			"with -experiment overlap: machine preset ("+strings.Join(netmodel.Names(), ", ")+")")
 		computeFrac = flag.Float64("computefrac", 1.0,
 			"with -experiment overlap: modeled compute between Start and Wait, as a fraction of the blocking exchange time")
 		blockSize = flag.Int("block", 4096,
 			"with -experiment overlap: block bytes per rank pair")
+		jsonPath = flag.String("json", "",
+			"with -experiment regress: write the machine-readable baseline (BENCH_regress.json) to this path")
 	)
 	flag.Parse()
 
@@ -71,6 +73,27 @@ func main() {
 	if *verbose {
 		progress = func(s string) { fmt.Fprintln(os.Stderr, "  "+s) }
 	}
+
+	if *experiment == "regress" {
+		if *tablePath != "" {
+			fatal(fmt.Errorf("-experiment regress and -table are mutually exclusive"))
+		}
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "op", "algo", "scale", "nodes", "ppn", "runs", "machine", "computefrac", "block":
+				fatal(fmt.Errorf("-%s does not apply to -experiment regress (the baseline world, machines, algorithms and runs are fixed so snapshots stay comparable)", f.Name))
+			}
+		})
+		if err := runRegress(*jsonPath, progress); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "json" {
+			fatal(fmt.Errorf("-json only applies with -experiment regress"))
+		}
+	})
 
 	if *experiment == "overlap" {
 		if *tablePath != "" {
@@ -240,6 +263,26 @@ func runTable(path string, op core.Op, algoList string, scale bench.Scale, csvDi
 		return err
 	}
 	return emit(t, csvDir, plot)
+}
+
+// runRegress executes the fixed regression sweep and optionally persists
+// the machine-readable baseline for trajectory tracking.
+func runRegress(jsonPath string, progress func(string)) error {
+	r, err := bench.RunRegress(progress)
+	if err != nil {
+		return err
+	}
+	if err := r.Format(os.Stdout); err != nil {
+		return err
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	if err := r.Save(jsonPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
+	return nil
 }
 
 // runOverlap measures the nonblocking-overlap efficiency

@@ -53,7 +53,7 @@ func run(machineName string, nodes, ppn int, op core.Op, out string) error {
 
 	// 1. Produce: rank every candidate at every size on the machine model.
 	sizes := autotune.SizeGrid(4, 4096)
-	cands := autotune.DefaultCandidates(op, ppn)
+	cands := autotune.DefaultCandidates(op, nodes, ppn)
 	fmt.Printf("tuning %s on %s (%d nodes x %d ranks): %d candidates x %d sizes...\n",
 		op.Norm(), m.Name, nodes, ppn, len(cands), len(sizes))
 	table, err := autotune.BuildTable(m, op, nodes, ppn, sizes, cands, 2, 1)

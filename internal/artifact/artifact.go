@@ -1,0 +1,42 @@
+// Package artifact holds the shared persistence discipline of the
+// repository's JSON artifacts — autotune tables, communication schedules,
+// and bench baselines: every Save is atomic (temp file + rename, so a
+// concurrent reader never sees a torn file) and world-readable (artifacts
+// are produced once and read by any job, so CreateTemp's restrictive 0600
+// must not survive the rename).
+package artifact
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Save atomically writes the output of encode to path. what names the
+// artifact in error messages (e.g. "autotune: saving table").
+func Save(path, what string, encode func(io.Writer) error) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".artifact-*")
+	if err != nil {
+		return fmt.Errorf("%s: %w", what, err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		os.Remove(tmp)
+		return fmt.Errorf("%s: %w", what, err)
+	}
+	if err := encode(f); err != nil {
+		f.Close()
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return fail(err)
+	}
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fail(err)
+	}
+	return nil
+}

@@ -46,11 +46,22 @@ type Choice struct {
 	Seconds float64
 }
 
-// DefaultCandidates returns the tuning pool for an operation, restricted
-// to divisors of ppn. For OpAlltoall it is the paper's algorithm family
-// with the leader/group sizes it evaluates; for OpAlltoallv it is the
-// flat baselines plus the leader-aggregating variants.
-func DefaultCandidates(op core.Op, ppn int) []Candidate {
+// schedMaxRanks caps the world size at which schedule-backed candidates
+// join the default pool: a compiled schedule materializes every
+// pack/unpack copy of every rank (O(p^2 * diameter) steps for the ring),
+// so sweeping one at full 32x112 scale would cost more to compile than to
+// simulate. Within the cap the generated direct-connect schedules are
+// real contenders; beyond it they stay constructible by name.
+const schedMaxRanks = 128
+
+// DefaultCandidates returns the tuning pool for an operation at a
+// nodes x ppn world, restricted to divisors of ppn. For OpAlltoall it is
+// the paper's algorithm family with the leader/group sizes it evaluates,
+// plus the generated direct-connect schedules (sched:ring, sched:torus,
+// and sched:hypercube when the rank count is a power of two) on worlds of
+// at most schedMaxRanks ranks; for OpAlltoallv it is the flat baselines
+// plus the leader-aggregating variants.
+func DefaultCandidates(op core.Op, nodes, ppn int) []Candidate {
 	if op.Norm() == core.OpAlltoallv {
 		cands := []Candidate{
 			{Name: "pairwise", Algo: "pairwise"},
@@ -78,6 +89,15 @@ func DefaultCandidates(op core.Op, ppn int) []Candidate {
 				Candidate{Name: fmt.Sprintf("locality-aware/%dppg", q), Algo: "locality-aware", Opts: core.Options{PPG: q}},
 				Candidate{Name: fmt.Sprintf("multileader-node-aware/%dppl", q), Algo: "multileader-node-aware", Opts: core.Options{PPL: q}},
 			)
+		}
+	}
+	if p := nodes * ppn; p > 1 && p <= schedMaxRanks {
+		cands = append(cands,
+			Candidate{Name: "sched:ring", Algo: "sched:ring"},
+			Candidate{Name: "sched:torus", Algo: "sched:torus"},
+		)
+		if p&(p-1) == 0 {
+			cands = append(cands, Candidate{Name: "sched:hypercube", Algo: "sched:hypercube"})
 		}
 	}
 	return cands

@@ -17,15 +17,68 @@ func tinyDane() netmodel.Params {
 
 func TestDefaultCandidates(t *testing.T) {
 	t.Parallel()
-	cands := DefaultCandidates(core.OpAlltoall, 112)
+	// 32 x 112 = 3584 ranks: far beyond the schedule-candidate cap, so
+	// only the paper family appears.
+	cands := DefaultCandidates(core.OpAlltoall, 32, 112)
 	if len(cands) != 3+3*3 {
 		t.Fatalf("candidate count = %d", len(cands))
 	}
-	cands8 := DefaultCandidates(core.OpAlltoall, 8)
+	cands8 := DefaultCandidates(core.OpAlltoall, 2, 8)
 	for _, c := range cands8 {
 		if c.Opts.PPL > 8 || c.Opts.PPG > 8 {
 			t.Errorf("candidate %s exceeds ppn", c.Label())
 		}
+	}
+	// 2 x 8 = 16 ranks: schedule candidates join, including hypercube
+	// (power of two).
+	has := func(cands []Candidate, name string) bool {
+		for _, c := range cands {
+			if c.Name == name {
+				return true
+			}
+		}
+		return false
+	}
+	for _, want := range []string{"sched:ring", "sched:torus", "sched:hypercube"} {
+		if !has(cands8, want) {
+			t.Errorf("16-rank pool missing %s", want)
+		}
+	}
+	// 3 x 4 = 12 ranks: not a power of two, no hypercube.
+	cands12 := DefaultCandidates(core.OpAlltoall, 3, 4)
+	if !has(cands12, "sched:ring") || has(cands12, "sched:hypercube") {
+		t.Errorf("12-rank pool wrong schedule gating: %v", cands12)
+	}
+	// The v-operation pool carries no schedule candidates (schedules
+	// compile fixed-size exchanges).
+	for _, c := range DefaultCandidates(core.OpAlltoallv, 2, 8) {
+		if c.Algo == "sched:ring" || c.Algo == "sched:torus" || c.Algo == "sched:hypercube" {
+			t.Errorf("alltoallv pool contains schedule candidate %s", c.Name)
+		}
+	}
+}
+
+// TestSelectSweepsSchedules: a selection over schedule-backed candidates
+// runs end-to-end on the machine model and produces a valid table entry.
+func TestSelectSweepsSchedules(t *testing.T) {
+	t.Parallel()
+	m := tinyDane()
+	cands := []Candidate{
+		{Name: "bruck", Algo: "bruck"},
+		{Name: "sched:ring", Algo: "sched:ring"},
+		{Name: "sched:hypercube", Algo: "sched:hypercube"},
+	}
+	best, ranking, err := Select(m, core.OpAlltoall, 2, 8, 64, cands, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranking) != len(cands) {
+		t.Fatalf("ranking size %d", len(ranking))
+	}
+	tbl := &Table{Version: TableVersion, Machine: m.Name, Nodes: 2, PPN: 8,
+		Entries: []Entry{EntryFor(64, best)}}
+	if err := tbl.Validate(); err != nil {
+		t.Fatalf("table with schedule winner invalid: %v", err)
 	}
 }
 

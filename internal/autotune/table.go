@@ -5,8 +5,8 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 
+	"alltoallx/internal/artifact"
 	"alltoallx/internal/core"
 )
 
@@ -142,37 +142,13 @@ func Decode(r io.Reader) (*Table, error) {
 	return &t, nil
 }
 
-// Save writes the table to path (atomically: temp file + rename, so a
-// concurrent reader never sees a torn table).
+// Save writes the table to path atomically (internal/artifact: temp file
+// + rename, so a concurrent reader never sees a torn table).
 func (t *Table) Save(path string) error {
 	if err := t.Validate(); err != nil {
 		return err
 	}
-	f, err := os.CreateTemp(filepath.Dir(path), ".a2atable-*")
-	if err != nil {
-		return fmt.Errorf("autotune: saving table: %w", err)
-	}
-	tmp := f.Name()
-	if err := t.Encode(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return fmt.Errorf("autotune: saving table: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("autotune: saving table: %w", err)
-	}
-	// CreateTemp's restrictive 0600 would survive the rename; tables are
-	// meant to be produced once and read by any job.
-	if err := os.Chmod(tmp, 0o644); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("autotune: saving table: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("autotune: saving table: %w", err)
-	}
-	return nil
+	return artifact.Save(path, "autotune: saving table", t.Encode)
 }
 
 // Load reads and validates the table at path.

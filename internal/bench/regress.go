@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"alltoallx/internal/artifact"
+	"alltoallx/internal/netmodel"
+)
+
+// This file is the performance-regression baseline: a fixed, seeded sweep
+// of the algorithm family (including the generated direct-connect
+// schedules) over a fixed world on all three Table 1 machines, emitted as
+// machine-readable JSON. The committed snapshot (BENCH_regress.json at
+// the repository root) is the trajectory anchor: future changes rerun the
+// sweep and diff against it, so a perf regression in the simulator or an
+// algorithm shows up as a JSON diff, not an anecdote.
+
+// RegressVersion is the emitted format version.
+const RegressVersion = 1
+
+// Fixed regression world: small enough that the full sweep runs in CI
+// seconds, large enough that node-aware aggregation and multi-hop
+// schedules have real structure (4 nodes, 32 ranks — a power of two, so
+// the hypercube schedule participates).
+const (
+	regressNodes = 4
+	regressPPN   = 8
+	regressRuns  = 2
+	regressSeed  = 1
+)
+
+// regressSizes spans the paper's sweep corners: latency-bound, the
+// mid-size crossover region, and bandwidth-bound blocks.
+func regressSizes() []int { return []int{4, 64, 1024, 8192} }
+
+// regressAlgos is the tracked family: the paper's main lines plus every
+// schedule-backed direct-connect algorithm runnable at the world size.
+func regressAlgos() []string {
+	return []string{
+		"pairwise", "nonblocking", "bruck",
+		"node-aware", "multileader-node-aware",
+		"sched:ring", "sched:torus", "sched:hypercube",
+	}
+}
+
+// RegressPoint is one (algorithm, size) measurement.
+type RegressPoint struct {
+	// Block is the bytes per rank pair.
+	Block int `json:"block"`
+	// Seconds is the simulated collective time (max across ranks, min
+	// across runs — the paper's methodology).
+	Seconds float64 `json:"seconds"`
+}
+
+// RegressSeries is one algorithm's sweep on one machine.
+type RegressSeries struct {
+	Algo   string         `json:"algo"`
+	Points []RegressPoint `json:"points"`
+}
+
+// RegressMachine is one machine's complete sweep.
+type RegressMachine struct {
+	Machine string          `json:"machine"`
+	Nodes   int             `json:"nodes"`
+	PPN     int             `json:"ppn"`
+	Series  []RegressSeries `json:"series"`
+}
+
+// Regress is the full baseline artifact.
+type Regress struct {
+	Version int `json:"version"`
+	// Runs and Seed pin the methodology so reruns are comparable.
+	Runs     int              `json:"runs"`
+	Seed     int64            `json:"seed"`
+	Machines []RegressMachine `json:"machines"`
+}
+
+// RunRegress executes the fixed regression sweep on every Table 1
+// machine. progress, if non-nil, receives one line per completed point.
+func RunRegress(progress func(string)) (*Regress, error) {
+	out := &Regress{Version: RegressVersion, Runs: regressRuns, Seed: regressSeed}
+	for _, m := range netmodel.Machines() {
+		rm := RegressMachine{Machine: m.Name, Nodes: regressNodes, PPN: regressPPN}
+		for _, algo := range regressAlgos() {
+			s := RegressSeries{Algo: algo}
+			for _, block := range regressSizes() {
+				cfg := Config{
+					Machine: m, Nodes: regressNodes, PPN: regressPPN,
+					Algo: algo, Block: block, Runs: regressRuns, BaseSeed: regressSeed,
+				}
+				key := cfg.Key()
+				pt, ok := cacheGet(key)
+				if !ok {
+					var err error
+					pt, err = Measure(cfg)
+					if err != nil {
+						return nil, fmt.Errorf("bench: regress %s/%s/%d: %w", m.Name, algo, block, err)
+					}
+					cachePut(key, pt)
+				}
+				s.Points = append(s.Points, RegressPoint{Block: block, Seconds: pt.Seconds})
+				if progress != nil {
+					progress(fmt.Sprintf("regress %s %s block=%d -> %.3e s", m.Name, algo, block, pt.Seconds))
+				}
+			}
+			rm.Series = append(rm.Series, s)
+		}
+		out.Machines = append(out.Machines, rm)
+	}
+	return out, nil
+}
+
+// Encode writes the artifact as indented JSON.
+func (r *Regress) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Save writes the artifact to path atomically, like every other
+// persistent artifact in the repository (internal/artifact).
+func (r *Regress) Save(path string) error {
+	return artifact.Save(path, "bench: saving regress baseline", r.Encode)
+}
+
+// Format prints the sweep as text tables, one per machine.
+func (r *Regress) Format(w io.Writer) error {
+	for _, m := range r.Machines {
+		fmt.Fprintf(w, "regress baseline — %s, %d nodes x %d ranks (min of %d runs)\n",
+			m.Machine, m.Nodes, m.PPN, r.Runs)
+		fmt.Fprintf(w, "%-24s", "algorithm \\ bytes")
+		if len(m.Series) > 0 {
+			for _, pt := range m.Series[0].Points {
+				fmt.Fprintf(w, " %12d", pt.Block)
+			}
+		}
+		fmt.Fprintln(w)
+		for _, s := range m.Series {
+			fmt.Fprintf(w, "%-24s", s.Algo)
+			for _, pt := range s.Points {
+				fmt.Fprintf(w, " %12.4e", pt.Seconds)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleRegress() *Regress {
+	return &Regress{
+		Version: RegressVersion, Runs: 2, Seed: 1,
+		Machines: []RegressMachine{{
+			Machine: "Dane", Nodes: 4, PPN: 8,
+			Series: []RegressSeries{
+				{Algo: "bruck", Points: []RegressPoint{{Block: 4, Seconds: 1e-5}, {Block: 64, Seconds: 2e-5}}},
+				{Algo: "sched:ring", Points: []RegressPoint{{Block: 4, Seconds: 3e-5}, {Block: 64, Seconds: 4e-5}}},
+			},
+		}},
+	}
+}
+
+func TestRegressEncodeRoundTrip(t *testing.T) {
+	t.Parallel()
+	r := sampleRegress()
+	var buf bytes.Buffer
+	if err := r.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Regress
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, &got) {
+		t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", r, &got)
+	}
+}
+
+func TestRegressSaveAndFormat(t *testing.T) {
+	t.Parallel()
+	r := sampleRegress()
+	path := filepath.Join(t.TempDir(), "BENCH_regress.json")
+	if err := r.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Dane", "bruck", "sched:ring", "4 nodes x 8 ranks"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRegressAlgosConstructible: every tracked algorithm must exist in
+// the registry at the fixed regression world (32 ranks, power of two), so
+// a registry rename cannot silently break the baseline.
+func TestRegressAlgosConstructible(t *testing.T) {
+	t.Parallel()
+	for _, algo := range regressAlgos() {
+		cfg := Config{Algo: algo, Block: 4, Nodes: regressNodes, PPN: regressPPN}
+		if cfg.Key() == "" {
+			t.Fatalf("unkeyable config for %s", algo)
+		}
+	}
+	// One real point end-to-end keeps RunRegress honest without paying
+	// for the full three-machine sweep in unit tests.
+	pt, err := Measure(Config{
+		Machine: tinyDane(), Nodes: 2, PPN: 4,
+		Algo: "sched:hypercube", Block: 8, Runs: 1, BaseSeed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Seconds <= 0 {
+		t.Fatalf("nonpositive simulated time %g", pt.Seconds)
+	}
+}

@@ -306,7 +306,9 @@ func TestPhasesRecorded(t *testing.T) {
 func TestNames(t *testing.T) {
 	t.Parallel()
 	want := []string{"batched", "bruck", "hierarchical", "locality-aware", "multileader",
-		"multileader-node-aware", "node-aware", "nonblocking", "pairwise", "system-mpi", "tuned"}
+		"multileader-node-aware", "node-aware", "nonblocking", "pairwise",
+		"sched:bruck", "sched:direct", "sched:hypercube", "sched:pairwise", "sched:ring", "sched:torus",
+		"system-mpi", "tuned"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"alltoallx/internal/comm"
+	"alltoallx/internal/sched"
+	"alltoallx/internal/topo"
+)
+
+// This file registers every schedule generator of internal/sched as a
+// first-class algorithm named "sched:<generator>". Construction compiles
+// the schedule for the communicator's world (using its topology when
+// present), statically verifies it — an unverifiable schedule never
+// runs — and wraps the executor in the same persistent-operation shell as
+// every other algorithm, so Start/Test/Wait handles, tuned dispatch,
+// autotune sweeps, the bench harness and the trace phase breakdown all
+// work on schedules with zero special-casing.
+
+// SchedPrefix is the registry namespace of schedule-backed algorithms.
+const SchedPrefix = "sched:"
+
+// schedState is the persistent form of a schedule-backed algorithm: the
+// verified schedule plus its executor's cached scratch buffers.
+type schedState struct {
+	*basic
+	ex *sched.Exec
+}
+
+func (st *schedState) run(c comm.Comm, send, recv comm.Buffer, block int) error {
+	return st.ex.Run(c, send, recv, block, st.basic.rec)
+}
+
+// Schedule exposes the compiled schedule for inspection (cmd/a2asched
+// and tests); it is reachable through a type assertion:
+//
+//	s := a.(interface{ Schedule() *sched.Schedule }).Schedule()
+func (st *schedState) Schedule() *sched.Schedule { return st.ex.Schedule() }
+
+// schedCache shares one generated-and-verified schedule per (generator,
+// world shape) across all ranks and operations of a process. Generators
+// are deterministic and schedules are immutable after verification (an
+// Exec keeps all mutable state — scratch buffers — per rank), so sharing
+// is safe; without it, every rank of an SPMD program would compile and
+// verify its own copy of the whole-world schedule, turning an O(p^2)
+// construction into O(p^3) across ranks.
+var schedCache = struct {
+	sync.Mutex
+	m map[string]*sched.Schedule
+}{m: make(map[string]*sched.Schedule)}
+
+// schedFor returns the verified schedule for a generator at c's world,
+// compiling it on first use.
+func schedFor(gen string, c comm.Comm) (*sched.Schedule, error) {
+	key := fmt.Sprintf("%s|%d|%s", gen, c.Size(), topoKey(c.Topo()))
+	schedCache.Lock()
+	defer schedCache.Unlock()
+	if s, ok := schedCache.m[key]; ok {
+		return s, nil
+	}
+	s, err := sched.Generate(gen, c.Size(), c.Topo())
+	if err != nil {
+		return nil, fmt.Errorf("core: %s%s: %w", SchedPrefix, gen, err)
+	}
+	if err := sched.Verify(s); err != nil {
+		return nil, fmt.Errorf("core: %s%s failed static verification: %w", SchedPrefix, gen, err)
+	}
+	schedCache.m[key] = s
+	return s, nil
+}
+
+// topoKey fingerprints the part of the topology generators consume (the
+// nodes x ppn grid).
+func topoKey(m *topo.Mapping) string {
+	if m == nil {
+		return "flat"
+	}
+	return fmt.Sprintf("%dx%d", m.Nodes(), m.PPN())
+}
+
+func newSchedFactory(gen string) factory {
+	return func(c comm.Comm, maxBlock int, _ Options) (Alltoaller, error) {
+		s, err := schedFor(gen, c)
+		if err != nil {
+			return nil, err
+		}
+		st := &schedState{ex: sched.NewExec(s)}
+		st.basic = newBasic(SchedPrefix+gen, c, maxBlock, st.run)
+		return st, nil
+	}
+}
+
+// SchedNames returns the registered schedule-backed algorithm names,
+// sorted.
+func SchedNames() []string {
+	var out []string
+	for _, n := range Names() {
+		if strings.HasPrefix(n, SchedPrefix) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func init() {
+	for _, g := range sched.Generators() {
+		registry[SchedPrefix+g] = newSchedFactory(g)
+	}
+}

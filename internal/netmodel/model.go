@@ -25,6 +25,7 @@ package netmodel
 
 import (
 	"fmt"
+	"strings"
 
 	"alltoallx/internal/topo"
 )
@@ -251,6 +252,18 @@ func Tuolomne() Params {
 // Machines returns all Table 1 presets in paper order.
 func Machines() []Params { return []Params{Dane(), Amber(), Tuolomne()} }
 
+// Names returns the machine names of Machines() in paper order — the
+// single source for "-machine" flag docs and error messages, so adding a
+// preset updates every cmd's help and diagnostics at once.
+func Names() []string {
+	ms := Machines()
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = m.Name
+	}
+	return names
+}
+
 // ByName returns the preset with the given (case-sensitive) name.
 func ByName(name string) (Params, error) {
 	for _, m := range Machines() {
@@ -258,5 +271,5 @@ func ByName(name string) (Params, error) {
 			return m, nil
 		}
 	}
-	return Params{}, fmt.Errorf("netmodel: unknown machine %q (have Dane, Amber, Tuolomne)", name)
+	return Params{}, fmt.Errorf("netmodel: unknown machine %q (have %s)", name, strings.Join(Names(), ", "))
 }

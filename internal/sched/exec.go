@@ -1,0 +1,120 @@
+package sched
+
+import (
+	"fmt"
+
+	"alltoallx/internal/comm"
+	"alltoallx/internal/trace"
+)
+
+// TagBase is the first message tag the executor uses; round ri tags its
+// messages TagBase+ri. The verifier's one-message-per-pair-per-round rule
+// makes the (source, tag) match unambiguous.
+const TagBase = 401
+
+// Exec runs a schedule over a communicator. It is the persistent part of
+// a schedule-backed operation: scratch buffers are allocated once and
+// reused across calls (resized only when the block size or buffer
+// virtualness changes), mirroring how every core algorithm stages.
+//
+// Exec does not verify: callers must Verify the schedule once before
+// constructing an executor (core does this at algorithm construction).
+// Like the operations built on it, an Exec is driven by one rank's
+// goroutine and is not safe for concurrent use.
+type Exec struct {
+	s       *Schedule
+	scratch []comm.Buffer
+}
+
+// NewExec returns an executor for a verified schedule.
+func NewExec(s *Schedule) *Exec {
+	return &Exec{s: s, scratch: make([]comm.Buffer, len(s.Scratch))}
+}
+
+// Schedule returns the executed schedule.
+func (e *Exec) Schedule() *Schedule { return e.s }
+
+// ensure (re)allocates *buf to n bytes matching ref's virtualness, the
+// staging discipline shared with core.
+func ensure(buf *comm.Buffer, ref comm.Buffer, n int) {
+	if buf.Len() != n || buf.IsVirtual() != ref.IsVirtual() {
+		if ref.IsVirtual() {
+			*buf = comm.Virtual(n)
+		} else {
+			*buf = comm.Alloc(n)
+		}
+	}
+}
+
+// Run executes the schedule's rounds for this rank: post the round's
+// receives, walk copies and sends in step order, wait, next round. rec,
+// when non-nil, accrues Copy time under trace.PhaseRepack (the schedule's
+// repack cost in the phase breakdown); it may be nil.
+func (e *Exec) Run(c comm.Comm, send, recv comm.Buffer, block int, rec *trace.Recorder) error {
+	s := e.s
+	if c.Size() != s.Ranks {
+		return fmt.Errorf("sched: schedule %q compiled for %d ranks, communicator has %d", s.Name, s.Ranks, c.Size())
+	}
+	if block <= 0 {
+		return fmt.Errorf("sched: block must be positive, got %d", block)
+	}
+	for i, sz := range s.Scratch {
+		ensure(&e.scratch[i], send, sz*block)
+	}
+	ref := func(r Ref) comm.Buffer {
+		var b comm.Buffer
+		switch r.Buf {
+		case SpaceSend:
+			b = send
+		case SpaceRecv:
+			b = recv
+		default:
+			b = e.scratch[r.Buf-SpaceScratch]
+		}
+		return b.Slice(r.Off*block, r.N*block)
+	}
+
+	rank := c.Rank()
+	var reqs []comm.Request
+	for ri := range s.Rounds {
+		steps := s.Rounds[ri].Steps[rank]
+		tag := TagBase + ri
+		reqs = reqs[:0]
+		for _, st := range steps {
+			if st.Kind == Recv || st.Kind == SendRecv {
+				rq, err := c.Irecv(ref(st.Dst), st.From, tag)
+				if err != nil {
+					return fmt.Errorf("sched: %s round %d recv from %d: %w", s.Name, ri, st.From, err)
+				}
+				reqs = append(reqs, rq)
+			}
+		}
+		for _, st := range steps {
+			switch st.Kind {
+			case Copy:
+				t0 := c.Now()
+				if _, err := comm.CopyData(ref(st.Dst), ref(st.Src)); err != nil {
+					return fmt.Errorf("sched: %s round %d copy: %w", s.Name, ri, err)
+				}
+				if err := c.ChargeCopy(st.Src.N*block, 1); err != nil {
+					return err
+				}
+				rec.Add(trace.PhaseRepack, c.Now()-t0)
+			case Send, SendRecv:
+				rq, err := c.Isend(ref(st.Src), st.To, tag)
+				if err != nil {
+					return fmt.Errorf("sched: %s round %d send to %d: %w", s.Name, ri, st.To, err)
+				}
+				reqs = append(reqs, rq)
+			case Recv:
+				// Posted above.
+			default:
+				return fmt.Errorf("sched: %s round %d: kind %q is not executable", s.Name, ri, st.Kind)
+			}
+		}
+		if err := c.WaitAll(reqs); err != nil {
+			return fmt.Errorf("sched: %s round %d: %w", s.Name, ri, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"alltoallx/internal/topo"
+)
+
+// Generator compiles an all-to-all schedule for p ranks. The mapping is
+// the world topology when known (nil otherwise); topology-aware
+// generators (torus) shape themselves from it.
+type Generator func(p int, m *topo.Mapping) (*Schedule, error)
+
+// generators is the registry of schedule generators. The classic
+// algorithms (direct, pairwise, bruck) are compiled straight into the IR;
+// the direct-connect families (ring, torus, hypercube) are compiled from
+// per-block routes — schedules the loop-coded core algorithms cannot
+// express.
+var generators = map[string]Generator{
+	"direct":    Direct,
+	"pairwise":  Pairwise,
+	"bruck":     Bruck,
+	"ring":      Ring,
+	"torus":     Torus,
+	"hypercube": Hypercube,
+}
+
+// Generators returns all generator names, sorted.
+func Generators() []string {
+	names := make([]string, 0, len(generators))
+	for n := range generators {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Generate compiles the named schedule for p ranks (m may be nil).
+func Generate(name string, p int, m *topo.Mapping) (*Schedule, error) {
+	g, ok := generators[name]
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown generator %q (have %v)", name, Generators())
+	}
+	if p <= 0 {
+		return nil, fmt.Errorf("sched: rank count must be positive, got %d", p)
+	}
+	return g(p, m)
+}
+
+// sendRef/recvRef/scratchRef are small constructors for readable
+// generators.
+func sendRef(off, n int) Ref       { return Ref{Buf: SpaceSend, Off: off, N: n} }
+func recvRef(off, n int) Ref       { return Ref{Buf: SpaceRecv, Off: off, N: n} }
+func scratchRef(i, off, n int) Ref { return Ref{Buf: SpaceScratch + i, Off: off, N: n} }
+
+// selfCopy returns the step delivering rank r's own block.
+func selfCopy(r int) Step {
+	return Step{Kind: Copy, Src: sendRef(r, 1), Dst: recvRef(r, 1)}
+}
+
+// Direct compiles the spread direct exchange (the nonblocking algorithm):
+// a single round in which every rank posts all p-1 receives, then all p-1
+// sends, in spread order (peer r±i) to avoid hotspots.
+func Direct(p int, _ *topo.Mapping) (*Schedule, error) {
+	s := &Schedule{Format: FormatVersion, Name: "direct", Ranks: p, Rounds: []Round{{Steps: make([][]Step, p)}}}
+	for r := 0; r < p; r++ {
+		steps := []Step{selfCopy(r)}
+		for i := 1; i < p; i++ {
+			from := (r - i + p) % p
+			steps = append(steps, Step{Kind: Recv, From: from, Dst: recvRef(from, 1)})
+		}
+		for i := 1; i < p; i++ {
+			to := (r + i) % p
+			steps = append(steps, Step{Kind: Send, To: to, Src: sendRef(to, 1)})
+		}
+		s.Rounds[0].Steps[r] = steps
+	}
+	return s, nil
+}
+
+// Pairwise compiles Algorithm 1: a self-copy round followed by p-1
+// rounds, each one SendRecv per rank with disjoint partners (send to r+i,
+// receive from r-i).
+func Pairwise(p int, _ *topo.Mapping) (*Schedule, error) {
+	s := &Schedule{Format: FormatVersion, Name: "pairwise", Ranks: p}
+	r0 := Round{Steps: make([][]Step, p)}
+	for r := 0; r < p; r++ {
+		r0.Steps[r] = []Step{selfCopy(r)}
+	}
+	s.Rounds = append(s.Rounds, r0)
+	for i := 1; i < p; i++ {
+		rd := Round{Steps: make([][]Step, p)}
+		for r := 0; r < p; r++ {
+			to := (r + i) % p
+			from := (r - i + p) % p
+			rd.Steps[r] = []Step{{Kind: SendRecv, To: to, Src: sendRef(to, 1), From: from, Dst: recvRef(from, 1)}}
+		}
+		s.Rounds = append(s.Rounds, rd)
+	}
+	return s, nil
+}
+
+// Bruck compiles the Bruck algorithm: a rotation round, ceil(log2 p)
+// exchange rounds each packing the blocks whose index has bit k set, and
+// a final unpack + inverse-rotation round. Receive staging is
+// double-buffered so an exchange round never receives into the buffer its
+// unpack copies are still reading — the race the verifier rejects.
+func Bruck(p int, _ *topo.Mapping) (*Schedule, error) {
+	// Scratch layout: 0 = rotation buffer (p blocks), 1 = pack-send,
+	// 2/3 = alternating pack-recv.
+	const (
+		tmp   = 0
+		packS = 1
+		packA = 2
+	)
+	if p == 1 {
+		return Pairwise(p, nil)
+	}
+	// h is the widest exchange: the largest count of indices in [0,p)
+	// with bit k set, over the rounds k = 1, 2, 4, ...
+	h := 0
+	var ks []int
+	for k := 1; k < p; k <<= 1 {
+		ks = append(ks, k)
+		m := 0
+		for i := 0; i < p; i++ {
+			if i&k != 0 {
+				m++
+			}
+		}
+		if m > h {
+			h = m
+		}
+	}
+	s := &Schedule{Format: FormatVersion, Name: "bruck", Ranks: p, Scratch: []int{p, h, h, h}}
+
+	// Round 0: rotate so local block i is the data destined to rank r+i
+	// (two contiguous copies per rank).
+	r0 := Round{Steps: make([][]Step, p)}
+	for r := 0; r < p; r++ {
+		steps := []Step{{Kind: Copy, Src: sendRef(r, p-r), Dst: scratchRef(tmp, 0, p-r)}}
+		if r > 0 {
+			steps = append(steps, Step{Kind: Copy, Src: sendRef(0, r), Dst: scratchRef(tmp, p-r, r)})
+		}
+		r0.Steps[r] = steps
+	}
+	s.Rounds = append(s.Rounds, r0)
+
+	// unpack emits the copies restoring round ki's received blocks from
+	// its pack-recv buffer into the rotation buffer.
+	unpack := func(ki int) []Step {
+		k := ks[ki]
+		buf := packA + ki%2
+		var steps []Step
+		m := 0
+		for i := 0; i < p; i++ {
+			if i&k != 0 {
+				steps = append(steps, Step{Kind: Copy, Src: scratchRef(buf, m, 1), Dst: scratchRef(tmp, i, 1)})
+				m++
+			}
+		}
+		return steps
+	}
+
+	for ki, k := range ks {
+		rd := Round{Steps: make([][]Step, p)}
+		for r := 0; r < p; r++ {
+			var steps []Step
+			if ki > 0 {
+				steps = append(steps, unpack(ki-1)...)
+			}
+			m := 0
+			for i := 0; i < p; i++ {
+				if i&k != 0 {
+					steps = append(steps, Step{Kind: Copy, Src: scratchRef(tmp, i, 1), Dst: scratchRef(packS, m, 1)})
+					m++
+				}
+			}
+			to := (r + k) % p
+			from := (r - k + p) % p
+			steps = append(steps, Step{
+				Kind: SendRecv,
+				To:   to, Src: scratchRef(packS, 0, m),
+				From: from, Dst: scratchRef(packA+ki%2, 0, m),
+			})
+			rd.Steps[r] = steps
+		}
+		s.Rounds = append(s.Rounds, rd)
+	}
+
+	// Final round: unpack the last exchange, then invert the rotation —
+	// local block i holds the data from rank r-i.
+	fin := Round{Steps: make([][]Step, p)}
+	for r := 0; r < p; r++ {
+		steps := unpack(len(ks) - 1)
+		for i := 0; i < p; i++ {
+			src := (r - i + p) % p
+			steps = append(steps, Step{Kind: Copy, Src: scratchRef(tmp, i, 1), Dst: recvRef(src, 1)})
+		}
+		fin.Steps[r] = steps
+	}
+	s.Rounds = append(s.Rounds, fin)
+	return s, nil
+}

@@ -1,0 +1,310 @@
+package sched
+
+import "fmt"
+
+// Verify statically proves a schedule implements MPI_Alltoall semantics
+// before it ever runs. It checks, in order:
+//
+//   - structure: positive rank count, a step list per rank per round,
+//     positive scratch sizes, known step kinds, peers in range, buffer
+//     references in range, no writes into the user send buffer;
+//   - round pairing: every send is matched by a receive of the same
+//     length within its round, at most one message per ordered rank pair
+//     per round (so per-round tags are unambiguous) — deadlock-freedom
+//     under the round discipline;
+//   - data races the executor's ordering cannot tolerate: no copy or
+//     send reads data received in the same round (received data lands at
+//     the round's wait), no two same-round writes to one slot, no copy
+//     overwriting a buffer an earlier send of the round is transmitting;
+//   - dataflow: a symbolic execution tracking which (src, dst) block
+//     every slot holds proves that each recv-buffer slot is written
+//     exactly once and finally holds exactly its block — every block
+//     delivered exactly once, none duplicated, none lost.
+//
+// The proof is per-schedule, not per-run: a verified schedule is correct
+// for every block size on every substrate.
+func Verify(s *Schedule) error {
+	if s == nil {
+		return fmt.Errorf("sched: nil schedule")
+	}
+	p := s.Ranks
+	if p <= 0 {
+		return fmt.Errorf("sched: invalid rank count %d", p)
+	}
+	if len(s.Rounds) == 0 {
+		return fmt.Errorf("sched: schedule has no rounds (even the trivial schedule needs the self-block copy)")
+	}
+	for i, sz := range s.Scratch {
+		if sz <= 0 {
+			return fmt.Errorf("sched: scratch space %d has non-positive size %d", i, sz)
+		}
+	}
+
+	v := newVerifier(s)
+	for ri := range s.Rounds {
+		if err := v.round(ri); err != nil {
+			return err
+		}
+	}
+	return v.final()
+}
+
+// undef marks a slot holding no block.
+const undef int32 = -1
+
+// verifier is the symbolic machine: one slot array per rank covering all
+// buffer spaces, holding block ids (src*p + dst) or undef.
+type verifier struct {
+	s     *Schedule
+	p     int
+	base  []int // slot offset of each space
+	slots int   // slots per rank
+	state [][]int32
+	// recvWritten counts writes into the recv space (per rank, per slot):
+	// each must end at exactly 1.
+	recvWritten [][]uint8
+	// stamp arrays mark per-round slot roles without reallocation: a slot
+	// is marked for round ri when the entry equals ri+1.
+	recvStamp [][]int32 // slot is written by a receive this round
+	readStamp [][]int32 // slot is read by an already-issued send this round
+}
+
+func newVerifier(s *Schedule) *verifier {
+	p := s.Ranks
+	base := make([]int, 2+len(s.Scratch))
+	base[SpaceSend] = 0
+	base[SpaceRecv] = p
+	off := 2 * p
+	for i, sz := range s.Scratch {
+		base[SpaceScratch+i] = off
+		off += sz
+	}
+	v := &verifier{s: s, p: p, base: base, slots: off}
+	v.state = make([][]int32, p)
+	v.recvWritten = make([][]uint8, p)
+	v.recvStamp = make([][]int32, p)
+	v.readStamp = make([][]int32, p)
+	for r := 0; r < p; r++ {
+		st := make([]int32, off)
+		for i := range st {
+			st[i] = undef
+		}
+		for d := 0; d < p; d++ {
+			st[base[SpaceSend]+d] = int32(r*p + d)
+		}
+		v.state[r] = st
+		v.recvWritten[r] = make([]uint8, p)
+		v.recvStamp[r] = make([]int32, off)
+		v.readStamp[r] = make([]int32, off)
+	}
+	return v
+}
+
+// checkRef validates a buffer reference and returns its first slot index.
+func (v *verifier) checkRef(ref Ref, where string) (int, error) {
+	size := v.s.SpaceSize(ref.Buf)
+	if size < 0 {
+		return 0, fmt.Errorf("%s: unknown buffer space %d", where, ref.Buf)
+	}
+	if ref.N <= 0 {
+		return 0, fmt.Errorf("%s: non-positive length %d", where, ref.N)
+	}
+	if ref.Off < 0 || ref.Off+ref.N > size {
+		return 0, fmt.Errorf("%s: range %d+%d out of space %d (%d blocks)", where, ref.Off, ref.N, ref.Buf, size)
+	}
+	return v.base[ref.Buf] + ref.Off, nil
+}
+
+// pairKey identifies a directed message within one round.
+type pairKey struct{ from, to int }
+
+// pendingRecv is a posted receive awaiting its round's delivery.
+type pendingRecv struct {
+	rank int
+	slot int
+	n    int
+}
+
+// round verifies and symbolically executes round ri.
+func (v *verifier) round(ri int) error {
+	rd := v.s.Rounds[ri]
+	if len(rd.Steps) != v.p {
+		return fmt.Errorf("sched: round %d has %d step lists, want one per rank (%d)", ri, len(rd.Steps), v.p)
+	}
+	stamp := int32(ri + 1)
+	sends := make(map[pairKey][]int32)
+	recvs := make(map[pairKey]pendingRecv)
+
+	// Pass 1: collect receive-written slots (their data lands at the
+	// round's wait, so same-round reads and overlapping writes are races).
+	for r := 0; r < v.p; r++ {
+		for si, step := range rd.Steps[r] {
+			if step.Kind != Recv && step.Kind != SendRecv {
+				continue
+			}
+			where := fmt.Sprintf("sched: round %d rank %d step %d (%s) dst", ri, r, si, step.Kind)
+			slot, err := v.checkRef(step.Dst, where)
+			if err != nil {
+				return err
+			}
+			if step.Dst.Buf == SpaceSend {
+				return fmt.Errorf("%s: schedules must not write the user send buffer", where)
+			}
+			if step.From < 0 || step.From >= v.p || step.From == r {
+				return fmt.Errorf("sched: round %d rank %d step %d: receive source %d out of range", ri, r, si, step.From)
+			}
+			key := pairKey{step.From, r}
+			if _, dup := recvs[key]; dup {
+				return fmt.Errorf("sched: round %d: two receives from %d at %d (per-round tags would be ambiguous)", ri, step.From, r)
+			}
+			recvs[key] = pendingRecv{rank: r, slot: slot, n: step.Dst.N}
+			for k := 0; k < step.Dst.N; k++ {
+				if v.recvStamp[r][slot+k] == stamp {
+					return fmt.Errorf("sched: round %d rank %d: two receives write slot %d in one round", ri, r, slot+k)
+				}
+				v.recvStamp[r][slot+k] = stamp
+			}
+		}
+	}
+
+	// Pass 2: walk copies and sends in step order per rank, maintaining
+	// the symbolic state; snapshot send payloads at issue position.
+	for r := 0; r < v.p; r++ {
+		for si, step := range rd.Steps[r] {
+			where := fmt.Sprintf("sched: round %d rank %d step %d (%s)", ri, r, si, step.Kind)
+			switch step.Kind {
+			case Copy:
+				src, err := v.checkRef(step.Src, where+" src")
+				if err != nil {
+					return err
+				}
+				dst, err := v.checkRef(step.Dst, where+" dst")
+				if err != nil {
+					return err
+				}
+				if step.Src.N != step.Dst.N {
+					return fmt.Errorf("%s: length mismatch src %d, dst %d", where, step.Src.N, step.Dst.N)
+				}
+				if step.Dst.Buf == SpaceSend {
+					return fmt.Errorf("%s: schedules must not write the user send buffer", where)
+				}
+				// Overlapping ranges are rejected outright: the symbolic
+				// slot-by-slot model below and the executor's memmove
+				// semantics (comm.CopyData) disagree on them, so a schedule
+				// relying on overlap would verify against behavior the
+				// executor does not have.
+				if step.Src.Buf == step.Dst.Buf && step.Src.Off < step.Dst.Off+step.Dst.N && step.Dst.Off < step.Src.Off+step.Src.N {
+					return fmt.Errorf("%s: src %v and dst %v overlap", where, step.Src, step.Dst)
+				}
+				for k := 0; k < step.Src.N; k++ {
+					if v.recvStamp[r][src+k] == stamp {
+						return fmt.Errorf("%s: reads slot %d received in the same round (received data is only available in later rounds)", where, src+k)
+					}
+					if v.recvStamp[r][dst+k] == stamp {
+						return fmt.Errorf("%s: writes slot %d a same-round receive also writes", where, dst+k)
+					}
+					if v.readStamp[r][dst+k] == stamp {
+						return fmt.Errorf("%s: overwrites slot %d an earlier send of the round is transmitting", where, dst+k)
+					}
+					val := v.state[r][src+k]
+					if val == undef {
+						return fmt.Errorf("%s: reads undefined data at slot %d", where, src+k)
+					}
+					if err := v.write(r, dst+k, val, where); err != nil {
+						return err
+					}
+				}
+			case Send, SendRecv:
+				src, err := v.checkRef(step.Src, where+" src")
+				if err != nil {
+					return err
+				}
+				if step.To < 0 || step.To >= v.p || step.To == r {
+					return fmt.Errorf("%s: send destination %d out of range", where, step.To)
+				}
+				key := pairKey{r, step.To}
+				if _, dup := sends[key]; dup {
+					return fmt.Errorf("sched: round %d: two sends from %d to %d (per-round tags would be ambiguous)", ri, r, step.To)
+				}
+				payload := make([]int32, step.Src.N)
+				for k := 0; k < step.Src.N; k++ {
+					if v.recvStamp[r][src+k] == stamp {
+						return fmt.Errorf("%s: sends slot %d received in the same round", where, src+k)
+					}
+					val := v.state[r][src+k]
+					if val == undef {
+						return fmt.Errorf("%s: sends undefined data at slot %d", where, src+k)
+					}
+					payload[k] = val
+					v.readStamp[r][src+k] = stamp
+				}
+				sends[key] = payload
+			case Recv:
+				// Posted in pass 1.
+			case Reduce:
+				return fmt.Errorf("%s: reduce steps are reserved for future reduction schedules", where)
+			default:
+				return fmt.Errorf("%s: unknown step kind %q", where, step.Kind)
+			}
+		}
+	}
+
+	// Pairing: the send and receive multisets must match exactly.
+	for key, payload := range sends {
+		rv, ok := recvs[key]
+		if !ok {
+			return fmt.Errorf("sched: round %d: unmatched send %d->%d (no receive posted — the round discipline would deadlock)", ri, key.from, key.to)
+		}
+		if rv.n != len(payload) {
+			return fmt.Errorf("sched: round %d: message %d->%d sends %d blocks but the receive expects %d", ri, key.from, key.to, len(payload), rv.n)
+		}
+	}
+	for key := range recvs {
+		if _, ok := sends[key]; !ok {
+			return fmt.Errorf("sched: round %d: unmatched receive at %d from %d (no send posted — the round discipline would deadlock)", ri, key.to, key.from)
+		}
+	}
+
+	// Deliver: receive payloads land at the round's wait.
+	for key, rv := range recvs {
+		payload := sends[key]
+		where := fmt.Sprintf("sched: round %d message %d->%d", ri, key.from, key.to)
+		for k, val := range payload {
+			if err := v.write(rv.rank, rv.slot+k, val, where); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// write updates a slot, enforcing the exactly-once discipline on the recv
+// space.
+func (v *verifier) write(rank, slot int, val int32, where string) error {
+	if rb := v.base[SpaceRecv]; slot >= rb && slot < rb+v.p {
+		d := slot - rb
+		v.recvWritten[rank][d]++
+		if v.recvWritten[rank][d] > 1 {
+			return fmt.Errorf("%s: recv block %d of rank %d written more than once (block delivered twice)", where, d, rank)
+		}
+		if want := int32(d*v.p + rank); val != want {
+			return fmt.Errorf("%s: recv block %d of rank %d receives block (%d->%d), want (%d->%d)",
+				where, d, rank, int(val)/v.p, int(val)%v.p, d, rank)
+		}
+	}
+	v.state[rank][slot] = val
+	return nil
+}
+
+// final checks the post-state: every recv slot written exactly once (the
+// correct content was already enforced at write time).
+func (v *verifier) final() error {
+	for r := 0; r < v.p; r++ {
+		for s := 0; s < v.p; s++ {
+			if v.recvWritten[r][s] != 1 {
+				return fmt.Errorf("sched: block (%d->%d) never delivered", s, r)
+			}
+		}
+	}
+	return nil
+}
