@@ -15,6 +15,13 @@
 //	a2asched verify ring16.json
 //	a2asched print ring16.json
 //	a2asched diff ring16.json torus4x8.json
+//	a2asched slice -name ring -ranks 4096 -rank 7 -o ring4096r7.json
+//	a2asched slice -name torus -nodes 64 -ppn 32 -rank 0 -world
+//
+// slice compiles a single rank's program (sched.GenerateRank) without
+// materializing the whole world — the large-world form the runtime uses
+// past the slicing threshold. It is locally verified; -world additionally
+// streams every rank's slice through the incremental cross-rank verifier.
 package main
 
 import (
@@ -37,6 +44,8 @@ func main() {
 		err = runList()
 	case "gen":
 		err = runGen(os.Args[2:])
+	case "slice":
+		err = runSlice(os.Args[2:])
 	case "verify":
 		err = runVerify(os.Args[2:])
 	case "print":
@@ -64,6 +73,8 @@ commands:
   list                      list schedule generators
   gen    -name G -ranks N   generate + verify a schedule (JSON to -o or stdout)
          [-nodes N -ppn P]  give the generator a topology (torus grid); implies -ranks
+  slice  -name G -ranks N   compile + verify ONE rank's program (rank-sliced, O(slice)
+         -rank R [-world]   memory; -world also streams the cross-rank verification)
   verify <file>             statically verify a schedule artifact
   print  <file>             stats and per-round message matrices
   diff   <a> <b>            compare two schedules round by round
@@ -87,26 +98,9 @@ func runGen(args []string) error {
 		out   = fs.String("o", "", "write the schedule JSON to this path (default stdout)")
 	)
 	fs.Parse(args)
-	var m *topo.Mapping
-	p := *ranks
-	if *nodes > 0 || *ppn > 0 {
-		if *nodes <= 0 || *ppn <= 0 {
-			return fmt.Errorf("-nodes and -ppn must be given together")
-		}
-		var err error
-		// The generator only consumes the nodes x ppn grid; a flat
-		// one-core-per-rank node shape carries it.
-		m, err = topo.NewMapping(topo.Spec{Sockets: 1, NumaPerSocket: 1, CoresPerNuma: *ppn}, *nodes, *ppn)
-		if err != nil {
-			return err
-		}
-		if p != 0 && p != m.Size() {
-			return fmt.Errorf("-ranks %d contradicts -nodes %d x -ppn %d", p, *nodes, *ppn)
-		}
-		p = m.Size()
-	}
-	if p <= 0 {
-		return fmt.Errorf("need -ranks (or -nodes and -ppn)")
+	p, m, err := parseWorld(*ranks, *nodes, *ppn)
+	if err != nil {
+		return err
 	}
 	s, err := sched.Generate(*name, p, m)
 	if err != nil {
@@ -124,6 +118,74 @@ func runGen(args []string) error {
 	st := s.Stats()
 	fmt.Printf("wrote %s: %q for %d ranks, %d rounds, %d messages, %d wire blocks (verified)\n",
 		*out, s.Name, s.Ranks, st.Rounds, st.Messages, st.WireBlocks)
+	return nil
+}
+
+// parseWorld resolves the -ranks / -nodes / -ppn flag combination shared
+// by gen and slice into a rank count and optional topology.
+func parseWorld(ranks, nodes, ppn int) (int, *topo.Mapping, error) {
+	var m *topo.Mapping
+	p := ranks
+	if nodes > 0 || ppn > 0 {
+		if nodes <= 0 || ppn <= 0 {
+			return 0, nil, fmt.Errorf("-nodes and -ppn must be given together")
+		}
+		var err error
+		// The generator only consumes the nodes x ppn grid; a flat
+		// one-core-per-rank node shape carries it.
+		m, err = topo.NewMapping(topo.Spec{Sockets: 1, NumaPerSocket: 1, CoresPerNuma: ppn}, nodes, ppn)
+		if err != nil {
+			return 0, nil, err
+		}
+		if p != 0 && p != m.Size() {
+			return 0, nil, fmt.Errorf("-ranks %d contradicts -nodes %d x -ppn %d", p, nodes, ppn)
+		}
+		p = m.Size()
+	}
+	if p <= 0 {
+		return 0, nil, fmt.Errorf("need -ranks (or -nodes and -ppn)")
+	}
+	return p, m, nil
+}
+
+func runSlice(args []string) error {
+	fs := flag.NewFlagSet("slice", flag.ExitOnError)
+	var (
+		name  = fs.String("name", "ring", "generator name (see a2asched list)")
+		ranks = fs.Int("ranks", 0, "world size in ranks (or use -nodes and -ppn)")
+		nodes = fs.Int("nodes", 0, "node count (with -ppn: shapes topology-aware generators)")
+		ppn   = fs.Int("ppn", 0, "ranks per node")
+		rank  = fs.Int("rank", 0, "the rank whose program to compile")
+		world = fs.Bool("world", false, "also stream every rank's slice through the cross-rank verifier (O(p) memory, O(schedule) time)")
+		out   = fs.String("o", "", "write the rank program JSON to this path (default stdout)")
+	)
+	fs.Parse(args)
+	p, m, err := parseWorld(*ranks, *nodes, *ppn)
+	if err != nil {
+		return err
+	}
+	rp, err := sched.GenerateRank(*name, p, *rank, m)
+	if err != nil {
+		return err
+	}
+	if err := sched.VerifyRank(rp); err != nil {
+		return fmt.Errorf("generated slice fails local verification (a generator bug): %w", err)
+	}
+	if *world {
+		if err := sched.VerifyWorldSliced(*name, p, m); err != nil {
+			return fmt.Errorf("streamed world verification FAILED: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "world OK — %q at %d ranks: per-round send/recv multisets match, every rank's blocks delivered exactly once\n", rp.Name, p)
+	}
+	if *out == "" {
+		return rp.Encode(os.Stdout)
+	}
+	if err := rp.Save(*out); err != nil {
+		return err
+	}
+	st := rp.Stats()
+	fmt.Printf("wrote %s: rank %d of %q at %d ranks — %d rounds, %d sends, %d wire blocks, %d repack copies (locally verified)\n",
+		*out, rp.Rank, rp.Name, rp.Ranks, st.Rounds, st.Messages, st.WireBlocks, st.Copies)
 	return nil
 }
 

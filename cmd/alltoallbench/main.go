@@ -35,7 +35,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment ID (fig7..fig18, table1, headline, overlap, regress) or 'all'")
+		experiment = flag.String("experiment", "all", "experiment ID (fig7..fig18, table1, headline, overlap, regress, scale) or 'all'")
 		scaleName  = flag.String("scale", "quick", "reproduction scale: quick or full")
 		nodes      = flag.Int("nodes", 0, "override node count (0 = experiment default)")
 		ppn        = flag.Int("ppn", 0, "override ranks per node (0 = scale default)")
@@ -55,7 +55,9 @@ func main() {
 		blockSize = flag.Int("block", 4096,
 			"with -experiment overlap: block bytes per rank pair")
 		jsonPath = flag.String("json", "",
-			"with -experiment regress: write the machine-readable baseline (BENCH_regress.json) to this path")
+			"with -experiment regress or scale: write the machine-readable baseline (BENCH_regress.json / BENCH_scale.json) to this path")
+		maxRanks = flag.Int("maxranks", 0,
+			"with -experiment scale: cap the swept world size (0 = the full 4096-rank sweep; CI smoke uses 256)")
 	)
 	flag.Parse()
 
@@ -80,7 +82,7 @@ func main() {
 		}
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "op", "algo", "scale", "nodes", "ppn", "runs", "machine", "computefrac", "block":
+			case "op", "algo", "scale", "nodes", "ppn", "runs", "machine", "computefrac", "block", "maxranks":
 				fatal(fmt.Errorf("-%s does not apply to -experiment regress (the baseline world, machines, algorithms and runs are fixed so snapshots stay comparable)", f.Name))
 			}
 		})
@@ -89,9 +91,27 @@ func main() {
 		}
 		return
 	}
+	if *experiment == "scale" {
+		if *tablePath != "" {
+			fatal(fmt.Errorf("-experiment scale and -table are mutually exclusive"))
+		}
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "op", "algo", "scale", "nodes", "ppn", "runs", "machine", "computefrac", "block":
+				fatal(fmt.Errorf("-%s does not apply to -experiment scale (the sweep's world shapes, block size, algorithms and caps are fixed so snapshots stay comparable)", f.Name))
+			}
+		})
+		if err := runScale(*maxRanks, *jsonPath, progress); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "json" {
-			fatal(fmt.Errorf("-json only applies with -experiment regress"))
+		switch f.Name {
+		case "json":
+			fatal(fmt.Errorf("-json only applies with -experiment regress or scale"))
+		case "maxranks":
+			fatal(fmt.Errorf("-maxranks only applies with -experiment scale"))
 		}
 	})
 
@@ -279,6 +299,27 @@ func runRegress(jsonPath string, progress func(string)) error {
 		return nil
 	}
 	if err := r.Save(jsonPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
+	return nil
+}
+
+// runScale executes the rank-scaling sweep (256..maxRanks ranks of every
+// Table 1 machine, rank-sliced schedules vs loop-coded baselines) and
+// optionally persists the machine-readable snapshot.
+func runScale(maxRanks int, jsonPath string, progress func(string)) error {
+	s, err := bench.RunScale(maxRanks, progress)
+	if err != nil {
+		return err
+	}
+	if err := s.Format(os.Stdout); err != nil {
+		return err
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	if err := s.Save(jsonPath); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)

@@ -47,20 +47,29 @@ type Choice struct {
 }
 
 // schedMaxRanks caps the world size at which schedule-backed candidates
-// join the default pool: a compiled schedule materializes every
-// pack/unpack copy of every rank (O(p^2 * diameter) steps for the ring),
-// so sweeping one at full 32x112 scale would cost more to compile than to
-// simulate. Within the cap the generated direct-connect schedules are
-// real contenders; beyond it they stay constructible by name.
-const schedMaxRanks = 128
+// join the default pool. Rank-sliced compilation (sched.GenerateRank via
+// core's sliced construction path) builds each rank's program in
+// O(slice), so the old 128-rank ceiling — a relic of compiling and
+// verifying the assembled O(p^2) schedule on every rank — is gone; the
+// remaining bound is the simulator's cost of actually *executing* a
+// candidate during the sweep. Torus and hypercube stay affordable to
+// 1024 ranks and beyond; beyond the cap they remain constructible by
+// name.
+const schedMaxRanks = 1024
+
+// ringMaxRanks separately caps the ring schedule: every block rides
+// Theta(p) hops, so executing one exchange costs Theta(p^3) block copies
+// — at 1024 ranks that is ~10^9 staged copies per sweep point, which
+// would dwarf the rest of the sweep combined.
+const ringMaxRanks = 256
 
 // DefaultCandidates returns the tuning pool for an operation at a
 // nodes x ppn world, restricted to divisors of ppn. For OpAlltoall it is
 // the paper's algorithm family with the leader/group sizes it evaluates,
-// plus the generated direct-connect schedules (sched:ring, sched:torus,
-// and sched:hypercube when the rank count is a power of two) on worlds of
-// at most schedMaxRanks ranks; for OpAlltoallv it is the flat baselines
-// plus the leader-aggregating variants.
+// plus the generated direct-connect schedules (sched:torus, sched:ring up
+// to ringMaxRanks, and sched:hypercube when the rank count is a power of
+// two) on worlds of at most schedMaxRanks ranks; for OpAlltoallv it is
+// the flat baselines plus the leader-aggregating variants.
 func DefaultCandidates(op core.Op, nodes, ppn int) []Candidate {
 	if op.Norm() == core.OpAlltoallv {
 		cands := []Candidate{
@@ -69,7 +78,12 @@ func DefaultCandidates(op core.Op, nodes, ppn int) []Candidate {
 			{Name: "node-aware", Algo: "node-aware"},
 		}
 		for _, q := range []int{4, 8, 16} {
-			if q < ppn && ppn%q == 0 {
+			// q == ppn is valid (one whole-node group, the node-aware
+			// degenerate case) and must be swept exactly as the OpAlltoall
+			// branch sweeps it: a strict bound here silently dropped the
+			// locality-aware/PPG=ppn configuration from every alltoallv
+			// sweep.
+			if q <= ppn && ppn%q == 0 {
 				cands = append(cands,
 					Candidate{Name: fmt.Sprintf("locality-aware/%dppg", q), Algo: "locality-aware", Opts: core.Options{PPG: q}},
 				)
@@ -92,10 +106,10 @@ func DefaultCandidates(op core.Op, nodes, ppn int) []Candidate {
 		}
 	}
 	if p := nodes * ppn; p > 1 && p <= schedMaxRanks {
-		cands = append(cands,
-			Candidate{Name: "sched:ring", Algo: "sched:ring"},
-			Candidate{Name: "sched:torus", Algo: "sched:torus"},
-		)
+		if p <= ringMaxRanks {
+			cands = append(cands, Candidate{Name: "sched:ring", Algo: "sched:ring"})
+		}
+		cands = append(cands, Candidate{Name: "sched:torus", Algo: "sched:torus"})
 		if p&(p-1) == 0 {
 			cands = append(cands, Candidate{Name: "sched:hypercube", Algo: "sched:hypercube"})
 		}

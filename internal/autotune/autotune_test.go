@@ -58,6 +58,81 @@ func TestDefaultCandidates(t *testing.T) {
 	}
 }
 
+// TestCandidatePoolGroupSizeParity pins the satellite bugfix: both
+// operations must gate leader/group sizes with the same q <= ppn bound.
+// The OpAlltoallv branch used q < ppn, silently dropping the valid
+// locality-aware/PPG=ppn configuration (the whole-node-group degenerate
+// case exercised by core's census tests) from every alltoallv sweep.
+func TestCandidatePoolGroupSizeParity(t *testing.T) {
+	t.Parallel()
+	groupSizes := func(cands []Candidate) map[int]bool {
+		out := make(map[int]bool)
+		for _, c := range cands {
+			if c.Algo == "locality-aware" {
+				out[c.Opts.PPG] = true
+			}
+		}
+		return out
+	}
+	for _, ppn := range []int{4, 8, 16} {
+		a := groupSizes(DefaultCandidates(core.OpAlltoall, 2, ppn))
+		v := groupSizes(DefaultCandidates(core.OpAlltoallv, 2, ppn))
+		if !a[ppn] {
+			t.Errorf("ppn=%d: alltoall pool missing locality-aware/PPG=ppn", ppn)
+		}
+		if !v[ppn] {
+			t.Errorf("ppn=%d: alltoallv pool missing locality-aware/PPG=ppn (the q < ppn bound bug)", ppn)
+		}
+		if len(a) != len(v) {
+			t.Errorf("ppn=%d: group-size sets differ between ops: alltoall %v, alltoallv %v", ppn, a, v)
+		}
+		for q := range a {
+			if !v[q] {
+				t.Errorf("ppn=%d: group size %d swept for alltoall but not alltoallv", ppn, q)
+			}
+		}
+	}
+}
+
+// TestCandidatePoolScheduleCaps pins the raised schedule-candidate
+// ceiling: torus/hypercube join up to schedMaxRanks (1024) ranks — far
+// past the old 128-rank cap — while the Theta(p^3)-work ring stops at
+// ringMaxRanks.
+func TestCandidatePoolScheduleCaps(t *testing.T) {
+	t.Parallel()
+	has := func(cands []Candidate, name string) bool {
+		for _, c := range cands {
+			if c.Name == name {
+				return true
+			}
+		}
+		return false
+	}
+	// 256 ranks: all three schedule families (power of two).
+	c256 := DefaultCandidates(core.OpAlltoall, 8, 32)
+	for _, want := range []string{"sched:ring", "sched:torus", "sched:hypercube"} {
+		if !has(c256, want) {
+			t.Errorf("256-rank pool missing %s", want)
+		}
+	}
+	// 512 ranks: past the old 128-rank cap, torus and hypercube sweep;
+	// ring is excluded by its own work bound.
+	c512 := DefaultCandidates(core.OpAlltoall, 16, 32)
+	if !has(c512, "sched:torus") || !has(c512, "sched:hypercube") {
+		t.Errorf("512-rank pool missing schedule candidates (old 128-rank cap resurrected?): %v", c512)
+	}
+	if has(c512, "sched:ring") {
+		t.Errorf("512-rank pool contains sched:ring despite its Theta(p^3) execution cost")
+	}
+	// 1024 ranks: still in; 2048: out.
+	if c := DefaultCandidates(core.OpAlltoall, 32, 32); !has(c, "sched:torus") {
+		t.Errorf("1024-rank pool missing sched:torus (schedMaxRanks must be >= 1024)")
+	}
+	if c := DefaultCandidates(core.OpAlltoall, 64, 32); has(c, "sched:torus") {
+		t.Errorf("2048-rank pool contains schedule candidates beyond schedMaxRanks")
+	}
+}
+
 // TestSelectSweepsSchedules: a selection over schedule-backed candidates
 // runs end-to-end on the machine model and produces a valid table entry.
 func TestSelectSweepsSchedules(t *testing.T) {

@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"alltoallx/internal/artifact"
+	"alltoallx/internal/netmodel"
+)
+
+// The scale experiment is the paper's scaling story past the old
+// 128-rank schedule cap: a fixed, seeded sweep of rank counts from 256
+// to 4096 on every Table 1 machine, comparing the loop-coded baselines
+// against the rank-sliced direct-connect schedules. It exists because
+// algorithm choice flips with scale (the SuperMUC lesson in PAPERS.md):
+// the O(p^2)-message exchanges dominate small worlds while the
+// logarithmic and toroidal schedules take over as p grows. The committed
+// snapshot (BENCH_scale.json) anchors the trajectory like the regress
+// baseline does.
+
+// ScaleVersion is the emitted format version.
+const ScaleVersion = 1
+
+// Fixed scale-sweep methodology: one mid-size block, one seeded run per
+// point (the top points simulate millions of messages; variance is not
+// the object here — the scaling shape is), 32 ranks per node so every
+// Table 1 machine can host the sweep.
+const (
+	scalePPN   = 32
+	scaleBlock = 1024
+	scaleRuns  = 1
+	scaleSeed  = 1
+)
+
+// scaleRankPoints is the swept world sizes (powers of two so the
+// hypercube schedule participates everywhere).
+func scaleRankPoints() []int { return []int{256, 512, 1024, 2048, 4096} }
+
+// scaleAlgos is the tracked family with per-algorithm rank caps: a cap
+// reflects the cost of *executing* a candidate under the simulator, not
+// of compiling it (rank-sliced compilation is O(slice) everywhere). The
+// ring moves Theta(p^3) staged blocks per exchange and stops first; the
+// torus's Theta(p^2 sqrt(p)) staging stops next; sched:bruck and
+// sched:hypercube stop at 2048 (their per-block pack/unpack step counts
+// make the 4096 point minutes of wall time for no extra story); the
+// loop-coded baselines and sched:pairwise run to the top.
+func scaleAlgos() []struct {
+	Algo string
+	Cap  int
+} {
+	return []struct {
+		Algo string
+		Cap  int
+	}{
+		{"pairwise", 4096},
+		{"bruck", 4096},
+		{"sched:pairwise", 4096},
+		{"sched:bruck", 2048},
+		{"sched:hypercube", 2048},
+		{"sched:torus", 1024},
+		{"sched:ring", 256},
+	}
+}
+
+// ScalePoint is one (algorithm, world size) measurement.
+type ScalePoint struct {
+	// Ranks is the world size (Nodes = Ranks / PPN).
+	Ranks int `json:"ranks"`
+	// Seconds is the simulated collective time (max across ranks).
+	Seconds float64 `json:"seconds"`
+	// Messages is the point-to-point message count of the run.
+	Messages uint64 `json:"messages"`
+}
+
+// ScaleSeries is one algorithm's sweep on one machine.
+type ScaleSeries struct {
+	Algo   string       `json:"algo"`
+	Points []ScalePoint `json:"points"`
+}
+
+// ScaleMachine is one machine's complete sweep.
+type ScaleMachine struct {
+	Machine string        `json:"machine"`
+	PPN     int           `json:"ppn"`
+	Series  []ScaleSeries `json:"series"`
+}
+
+// Scaling is the full scale-sweep artifact.
+type Scaling struct {
+	Version int `json:"version"`
+	// Runs, Seed and Block pin the methodology so reruns are comparable;
+	// MaxRanks records how far this run swept (CI smoke runs stop early).
+	Runs     int            `json:"runs"`
+	Seed     int64          `json:"seed"`
+	Block    int            `json:"block"`
+	MaxRanks int            `json:"maxRanks"`
+	Machines []ScaleMachine `json:"machines"`
+}
+
+// RunScale executes the scale sweep up to maxRanks ranks (0 means the
+// full 4096) on every Table 1 machine. progress, if non-nil, receives one
+// line per completed point.
+func RunScale(maxRanks int, progress func(string)) (*Scaling, error) {
+	if maxRanks == 0 {
+		maxRanks = 4096
+	}
+	var ranks []int
+	for _, p := range scaleRankPoints() {
+		if p <= maxRanks {
+			ranks = append(ranks, p)
+		}
+	}
+	if len(ranks) == 0 {
+		return nil, fmt.Errorf("bench: -maxranks %d below the smallest scale point (%d)", maxRanks, scaleRankPoints()[0])
+	}
+	out := &Scaling{Version: ScaleVersion, Runs: scaleRuns, Seed: scaleSeed, Block: scaleBlock, MaxRanks: maxRanks}
+	for _, m := range netmodel.Machines() {
+		rm := ScaleMachine{Machine: m.Name, PPN: scalePPN}
+		for _, a := range scaleAlgos() {
+			s := ScaleSeries{Algo: a.Algo}
+			for _, p := range ranks {
+				if p > a.Cap {
+					if progress != nil {
+						progress(fmt.Sprintf("scale %s %s ranks=%d skipped (execution cap %d)", m.Name, a.Algo, p, a.Cap))
+					}
+					continue
+				}
+				cfg := Config{
+					Machine: m, Nodes: p / scalePPN, PPN: scalePPN,
+					Algo: a.Algo, Block: scaleBlock, Runs: scaleRuns, BaseSeed: scaleSeed,
+				}
+				key := cfg.Key()
+				pt, ok := cacheGet(key)
+				if !ok {
+					var err error
+					pt, err = Measure(cfg)
+					if err != nil {
+						return nil, fmt.Errorf("bench: scale %s/%s/%d: %w", m.Name, a.Algo, p, err)
+					}
+					cachePut(key, pt)
+				}
+				s.Points = append(s.Points, ScalePoint{Ranks: p, Seconds: pt.Seconds, Messages: pt.Stats.Messages})
+				if progress != nil {
+					progress(fmt.Sprintf("scale %s %s ranks=%d -> %.3e s (%d msgs)", m.Name, a.Algo, p, pt.Seconds, pt.Stats.Messages))
+				}
+			}
+			rm.Series = append(rm.Series, s)
+		}
+		out.Machines = append(out.Machines, rm)
+	}
+	return out, nil
+}
+
+// Encode writes the artifact as indented JSON.
+func (s *Scaling) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Save writes the artifact to path atomically (internal/artifact).
+func (s *Scaling) Save(path string) error {
+	return artifact.Save(path, "bench: saving scale sweep", s.Encode)
+}
+
+// Format prints the sweep as text tables, one per machine.
+func (s *Scaling) Format(w io.Writer) error {
+	ranks := scaleRankPoints()
+	for _, m := range s.Machines {
+		fmt.Fprintf(w, "scale sweep — %s, %d ranks/node, block %d B (seeded, %d run)\n",
+			m.Machine, m.PPN, s.Block, s.Runs)
+		fmt.Fprintf(w, "%-18s", "algorithm \\ ranks")
+		for _, p := range ranks {
+			if p <= s.MaxRanks {
+				fmt.Fprintf(w, " %12d", p)
+			}
+		}
+		fmt.Fprintln(w)
+		for _, sr := range m.Series {
+			fmt.Fprintf(w, "%-18s", sr.Algo)
+			byRanks := make(map[int]float64, len(sr.Points))
+			for _, pt := range sr.Points {
+				byRanks[pt.Ranks] = pt.Seconds
+			}
+			for _, p := range ranks {
+				if p > s.MaxRanks {
+					continue
+				}
+				if v, ok := byRanks[p]; ok {
+					fmt.Fprintf(w, " %12.4e", v)
+				} else {
+					fmt.Fprintf(w, " %12s", "—")
+				}
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

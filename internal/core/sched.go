@@ -1,6 +1,7 @@
 package core
 
 import (
+	"container/list"
 	"fmt"
 	"strings"
 	"sync"
@@ -12,18 +13,34 @@ import (
 
 // This file registers every schedule generator of internal/sched as a
 // first-class algorithm named "sched:<generator>". Construction compiles
-// the schedule for the communicator's world (using its topology when
-// present), statically verifies it — an unverifiable schedule never
-// runs — and wraps the executor in the same persistent-operation shell as
-// every other algorithm, so Start/Test/Wait handles, tuned dispatch,
-// autotune sweeps, the bench harness and the trace phase breakdown all
-// work on schedules with zero special-casing.
+// the schedule for the communicator's world, statically verifies it — an
+// unverifiable schedule never runs — and wraps the executor in the same
+// persistent-operation shell as every other algorithm, so
+// Start/Test/Wait handles, tuned dispatch, autotune sweeps, the bench
+// harness and the trace phase breakdown all work on schedules with zero
+// special-casing.
+//
+// Worlds of at most schedSliceRanks ranks compile and verify the
+// assembled schedule (the authoritative full symbolic proof). Larger
+// worlds use rank-sliced compilation: each rank builds only its own
+// sched.RankProgram — O(slice), never O(p^2) — verified locally per
+// slice plus once per world by the streaming cross-rank verifier.
 
 // SchedPrefix is the registry namespace of schedule-backed algorithms.
 const SchedPrefix = "sched:"
 
+// schedSliceRanks is the whole-world ceiling: above it, construction
+// switches to rank-sliced compilation and streaming verification. Two
+// costs pin it at the old 128-rank candidate cap: the full verifier's
+// symbolic state is O(p · slots) — O(p^3) slots for the route schedules —
+// and the assembled schedule must fit the bounded cache below, or every
+// rank's construction would miss and recompile the whole world (the ring
+// schedule at 256 ranks is already ~800 MB of steps).
+const schedSliceRanks = 128
+
 // schedState is the persistent form of a schedule-backed algorithm: the
-// verified schedule plus its executor's cached scratch buffers.
+// verified schedule (or this rank's slice of it) plus its executor's
+// cached scratch buffers.
 type schedState struct {
 	*basic
 	ex *sched.Exec
@@ -33,32 +50,139 @@ func (st *schedState) run(c comm.Comm, send, recv comm.Buffer, block int) error 
 	return st.ex.Run(c, send, recv, block, st.basic.rec)
 }
 
-// Schedule exposes the compiled schedule for inspection (cmd/a2asched
-// and tests); it is reachable through a type assertion:
+// Schedule exposes the compiled whole-world schedule for inspection
+// (cmd/a2asched and tests); it is reachable through a type assertion:
 //
 //	s := a.(interface{ Schedule() *sched.Schedule }).Schedule()
+//
+// Above the slicing threshold no assembled schedule exists and Schedule
+// returns nil; Program always reflects what this rank runs.
 func (st *schedState) Schedule() *sched.Schedule { return st.ex.Schedule() }
 
-// schedCache shares one generated-and-verified schedule per (generator,
-// world shape) across all ranks and operations of a process. Generators
-// are deterministic and schedules are immutable after verification (an
-// Exec keeps all mutable state — scratch buffers — per rank), so sharing
-// is safe; without it, every rank of an SPMD program would compile and
-// verify its own copy of the whole-world schedule, turning an O(p^2)
-// construction into O(p^3) across ranks.
-var schedCache = struct {
-	sync.Mutex
-	m map[string]*sched.Schedule
-}{m: make(map[string]*sched.Schedule)}
+// Program exposes this rank's compiled program (the slice executed on the
+// large-world path, or the lazy slice of the whole-world schedule).
+func (st *schedState) Program() *sched.RankProgram { return st.ex.Program() }
 
-// schedFor returns the verified schedule for a generator at c's world,
-// compiling it on first use.
+// schedCache shares compiled-and-verified schedule artifacts across the
+// ranks and operations of a process: whole-world schedules below the
+// slicing threshold (generators are deterministic and schedules immutable
+// after verification, so sharing is safe — without it every rank of an
+// SPMD program would compile its own copy, turning an O(p^2) construction
+// into O(p^3) across ranks) and per-rank programs above it. Retained
+// bytes are capped: entries are evicted least-recently-used, so an
+// autotune sweep over many world shapes no longer accretes every
+// schedule it ever compiled. Eviction only bounds reuse, not
+// correctness — live executors keep their own references.
+type schedCacheT struct {
+	mu    sync.Mutex
+	limit int64
+	used  int64
+	ll    *list.List // front = most recently used; values are *schedCacheEntry
+	m     map[string]*list.Element
+}
+
+type schedCacheEntry struct {
+	key   string
+	bytes int64
+	s     *sched.Schedule
+	rp    *sched.RankProgram
+}
+
+// schedCacheDefaultLimit bounds retained schedule bytes per process.
+// Rank slices are small (O(blocks through the rank)), so this holds
+// thousands of them, and schedSliceRanks is chosen so the largest
+// whole-world schedule the full path can compile (ring at the threshold,
+// ~100 MB) fits with room to spare — an entry that exceeded the limit
+// would be evicted immediately and every rank of the world would
+// recompile it.
+const schedCacheDefaultLimit = 256 << 20
+
+var schedCache = &schedCacheT{limit: schedCacheDefaultLimit, ll: list.New(), m: make(map[string]*list.Element)}
+
+func (c *schedCacheT) get(key string) (*schedCacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*schedCacheEntry), true
+}
+
+func (c *schedCacheT) put(e *schedCacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[e.key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[e.key] = c.ll.PushFront(e)
+	c.used += e.bytes
+	c.evictLocked()
+}
+
+// evictLocked drops least-recently-used entries until the retained bytes
+// fit the limit. Callers hold c.mu.
+func (c *schedCacheT) evictLocked() {
+	for c.used > c.limit && c.ll.Len() > 0 {
+		back := c.ll.Back()
+		ev := back.Value.(*schedCacheEntry)
+		c.ll.Remove(back)
+		delete(c.m, ev.key)
+		c.used -= ev.bytes
+	}
+}
+
+func (c *schedCacheT) delete(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		ev := el.Value.(*schedCacheEntry)
+		c.ll.Remove(el)
+		delete(c.m, key)
+		c.used -= ev.bytes
+	}
+}
+
+// setSchedCacheLimit adjusts the retained-bytes cap (evicting immediately
+// if needed) and returns the previous limit. Tests use it to pin the
+// bound; a zero or negative limit keeps nothing.
+func setSchedCacheLimit(limit int64) int64 {
+	schedCache.mu.Lock()
+	defer schedCache.mu.Unlock()
+	old := schedCache.limit
+	schedCache.limit = limit
+	schedCache.evictLocked()
+	return old
+}
+
+// schedCacheStats reports the cache's entry count and retained bytes.
+func schedCacheStats() (entries int, bytes int64) {
+	schedCache.mu.Lock()
+	defer schedCache.mu.Unlock()
+	return schedCache.ll.Len(), schedCache.used
+}
+
+// verifiedWorlds records the streaming cross-rank verification verdict
+// per (generator, world shape): the check walks every rank's slice, so
+// one pass per world per process is enough. Entries are a string and an
+// error — O(worlds touched), not O(schedule).
+var verifiedWorlds = struct {
+	sync.Mutex
+	m map[string]error
+}{m: make(map[string]error)}
+
+func worldKey(gen string, p int, m *topo.Mapping) string {
+	return fmt.Sprintf("%s|%d|%s", gen, p, topoKey(m))
+}
+
+// schedFor returns the verified whole-world schedule for a generator at
+// c's world, compiling it on first use (the at-or-below-threshold path).
 func schedFor(gen string, c comm.Comm) (*sched.Schedule, error) {
-	key := fmt.Sprintf("%s|%d|%s", gen, c.Size(), topoKey(c.Topo()))
-	schedCache.Lock()
-	defer schedCache.Unlock()
-	if s, ok := schedCache.m[key]; ok {
-		return s, nil
+	key := "w|" + worldKey(gen, c.Size(), c.Topo())
+	if e, ok := schedCache.get(key); ok {
+		return e.s, nil
 	}
 	s, err := sched.Generate(gen, c.Size(), c.Topo())
 	if err != nil {
@@ -67,8 +191,44 @@ func schedFor(gen string, c comm.Comm) (*sched.Schedule, error) {
 	if err := sched.Verify(s); err != nil {
 		return nil, fmt.Errorf("core: %s%s failed static verification: %w", SchedPrefix, gen, err)
 	}
-	schedCache.m[key] = s
+	schedCache.put(&schedCacheEntry{key: key, bytes: s.MemBytes(), s: s})
 	return s, nil
+}
+
+// rankProgFor returns this rank's verified program for a generator at c's
+// world (the above-threshold path): the slice is compiled directly —
+// O(slice) memory — and locally verified; the cross-rank properties are
+// proved once per world by the streaming verifier. Any whole-world entry
+// for the same world is evicted: once a world is sliced, the assembled
+// schedule must not linger in the cache.
+func rankProgFor(gen string, c comm.Comm) (*sched.RankProgram, error) {
+	wk := worldKey(gen, c.Size(), c.Topo())
+	verifiedWorlds.Lock()
+	werr, checked := verifiedWorlds.m[wk]
+	if !checked {
+		werr = sched.VerifyWorldSliced(gen, c.Size(), c.Topo())
+		verifiedWorlds.m[wk] = werr
+	}
+	verifiedWorlds.Unlock()
+	if werr != nil {
+		return nil, fmt.Errorf("core: %s%s failed streamed verification: %w", SchedPrefix, gen, werr)
+	}
+	schedCache.delete("w|" + wk)
+	key := fmt.Sprintf("r|%s|%d", wk, c.Rank())
+	if e, ok := schedCache.get(key); ok {
+		return e.rp, nil
+	}
+	rp, err := sched.GenerateRank(gen, c.Size(), c.Rank(), c.Topo())
+	if err != nil {
+		return nil, fmt.Errorf("core: %s%s: %w", SchedPrefix, gen, err)
+	}
+	// No per-slice VerifyRank here: the streamed world pass above already
+	// ran the identical local checks on every rank's slice, and
+	// generation is deterministic, so this regeneration is byte-identical
+	// to what it proved — re-walking it would double the construction
+	// cost of every above-threshold world.
+	schedCache.put(&schedCacheEntry{key: key, bytes: rp.MemBytes(), rp: rp})
+	return rp, nil
 }
 
 // topoKey fingerprints the part of the topology generators consume (the
@@ -80,15 +240,30 @@ func topoKey(m *topo.Mapping) string {
 	return fmt.Sprintf("%dx%d", m.Nodes(), m.PPN())
 }
 
-func newSchedFactory(gen string) factory {
-	return func(c comm.Comm, maxBlock int, _ Options) (Alltoaller, error) {
+// newSchedState builds the persistent operation; sliced selects the
+// rank-sliced construction path (forced above schedSliceRanks).
+func newSchedState(gen string, c comm.Comm, maxBlock int, sliced bool) (Alltoaller, error) {
+	st := &schedState{}
+	if sliced {
+		rp, err := rankProgFor(gen, c)
+		if err != nil {
+			return nil, err
+		}
+		st.ex = sched.NewRankExec(rp)
+	} else {
 		s, err := schedFor(gen, c)
 		if err != nil {
 			return nil, err
 		}
-		st := &schedState{ex: sched.NewExec(s)}
-		st.basic = newBasic(SchedPrefix+gen, c, maxBlock, st.run)
-		return st, nil
+		st.ex = sched.NewExec(s)
+	}
+	st.basic = newBasic(SchedPrefix+gen, c, maxBlock, st.run)
+	return st, nil
+}
+
+func newSchedFactory(gen string) factory {
+	return func(c comm.Comm, maxBlock int, _ Options) (Alltoaller, error) {
+		return newSchedState(gen, c, maxBlock, c.Size() > schedSliceRanks)
 	}
 }
 

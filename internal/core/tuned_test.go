@@ -139,6 +139,102 @@ func TestTunedHysteresisAdjacentOnly(t *testing.T) {
 	}
 }
 
+// TestDispatchBucketExactBoundaries pins dispatchBucket at the exact
+// hysteresis edges, size == MaxBlock*(1±tunedHysteresis): the grow edge
+// is inclusive (a size exactly 25% past the crossed boundary still stays),
+// the shrink edge is exclusive (a size exactly 25% below it switches),
+// and a two-bucket jump ignores both bands — for integer sizes as the
+// fixed-size dispatcher passes them and fractional means as the
+// v-dispatcher computes them.
+func TestDispatchBucketExactBoundaries(t *testing.T) {
+	t.Parallel()
+	entries := []DispatchEntry{
+		{MaxBlock: 100, Algo: "pairwise"},
+		{MaxBlock: 200, Algo: "nonblocking"},
+		{MaxBlock: 400, Algo: "bruck"},
+	}
+	cases := []struct {
+		name string
+		size float64
+		last int
+		want int
+	}{
+		// Grow edge: boundary 100, band top exactly 125.
+		{"grow/exact-edge-stays", 100 * (1 + tunedHysteresis), 0, 0},
+		{"grow/just-past-edge-switches", 100*(1+tunedHysteresis) + 1, 0, 1},
+		{"grow/fixed-int-edge", float64(int(125)), 0, 0}, // the fixed-size caller's float64(block)
+		// Shrink edge: boundary 100, band bottom exactly 75.
+		{"shrink/exact-edge-switches", 100 * (1 - tunedHysteresis), 1, 0},
+		{"shrink/just-above-edge-stays", 100*(1-tunedHysteresis) + 1, 1, 1},
+		{"shrink/fixed-int-edge", float64(int(75)), 1, 0},
+		// Unconditional two-bucket jumps, landing inside the intermediate
+		// boundary's band on both sides.
+		{"shrink/clearly-inside-switches", 125, 2, 1}, // nominal 1 from last=2, well below 0.75*200
+		{"jump/up-two", 240, 0, 2},                    // nominal 2, within 25% of the 200 boundary: still jumps
+		{"jump/down-two", 95, 2, 0},                   // nominal 0, inside the 100 boundary's band: still jumps
+		// No history dispatches nominally, even exactly on a band edge.
+		{"fresh/exact-band-top", 125, -1, 1},
+		{"fresh/boundary-itself", 100, -1, 0},
+		// Fractional means, exactly as tunedV computes them (sum/p).
+		{"v/exact-grow-edge", 1000.0 / 8.0, 0, 0},      // 125.0
+		{"v/fraction-past-edge", 1001.0 / 8.0, 0, 1},   // 125.125
+		{"v/exact-shrink-edge", 600.0 / 8.0, 1, 0},     // 75.0
+		{"v/fraction-above-edge", 601.0 / 8.0, 1, 1},   // 75.125
+		{"v/last-bucket-overflow", 5000.0 / 8.0, 2, 2}, // beyond every boundary
+	}
+	for _, tc := range cases {
+		if got := dispatchBucket(entries, tc.size, tc.last); got != tc.want {
+			t.Errorf("%s: dispatchBucket(%v, last=%d) = %d, want %d", tc.name, tc.size, tc.last, got, tc.want)
+		}
+	}
+}
+
+// TestTunedVFractionalBoundary drives the v-dispatcher end-to-end at the
+// exact fractional boundary: all-equal count matrices whose mean payload
+// per peer lands exactly on MaxBlock*(1±h).
+func TestTunedVFractionalBoundary(t *testing.T) {
+	t.Parallel()
+	spec := &Dispatch{Op: OpAlltoallv, Entries: []DispatchEntry{
+		{MaxBlock: 100, Name: "lo", Algo: "pairwise"},
+		{MaxBlock: 400, Name: "hi", Algo: "nonblocking"},
+	}}
+	err := runtime.Run(runtime.Config{Mapping: mapping(t, 1, 4)}, func(c comm.Comm) error {
+		p := c.Size()
+		a, err := NewV("tuned", c, 1<<20, Options{Table: spec})
+		if err != nil {
+			return err
+		}
+		run := func(per int) error {
+			counts := make([]int, p)
+			for i := range counts {
+				counts[i] = per
+			}
+			displs, total := DisplsFromCounts(counts)
+			send := comm.Alloc(total)
+			recv := comm.Alloc(total)
+			return a.Alltoallv(send, counts, displs, recv, counts, displs)
+		}
+		picked := a.(interface{ Picked() string })
+		// Establish bucket 0, then sit exactly on the grow edge: mean =
+		// 125.0 stays (inclusive), one more byte per peer switches.
+		for _, step := range []struct {
+			per  int
+			want string
+		}{{100, "lo"}, {125, "lo"}, {126, "hi"}, {75, "lo"}} {
+			if err := run(step.per); err != nil {
+				return fmt.Errorf("per=%d: %w", step.per, err)
+			}
+			if got := picked.Picked(); got != step.want {
+				return fmt.Errorf("per=%d picked %q, want %q", step.per, got, step.want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestTunedBucketSelection drives the white-box bucket logic: nominal
 // picks, lazy instantiation, and hysteresis at boundaries.
 func TestTunedBucketSelection(t *testing.T) {

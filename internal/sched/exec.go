@@ -17,22 +17,41 @@ const TagBase = 401
 // reused across calls (resized only when the block size or buffer
 // virtualness changes), mirroring how every core algorithm stages.
 //
-// Exec does not verify: callers must Verify the schedule once before
+// An Exec holds either a whole-world Schedule (NewExec) — sliced lazily
+// for whichever rank runs it — or a single rank's pre-sliced RankProgram
+// (NewRankExec), the large-world form that never needs the assembled
+// schedule in memory.
+//
+// Exec does not verify: callers must Verify the schedule (or VerifyRank
+// plus the streamed world check for rank programs) once before
 // constructing an executor (core does this at algorithm construction).
 // Like the operations built on it, an Exec is driven by one rank's
 // goroutine and is not safe for concurrent use.
 type Exec struct {
-	s       *Schedule
+	s       *Schedule    // whole-world form (nil for rank executors)
+	rp      *RankProgram // pre-sliced form, or the lazy slice of s
 	scratch []comm.Buffer
 }
 
-// NewExec returns an executor for a verified schedule.
+// NewExec returns an executor for a verified whole-world schedule; the
+// running rank's slice is taken at Run time.
 func NewExec(s *Schedule) *Exec {
 	return &Exec{s: s, scratch: make([]comm.Buffer, len(s.Scratch))}
 }
 
-// Schedule returns the executed schedule.
+// NewRankExec returns an executor for one rank's verified program.
+func NewRankExec(rp *RankProgram) *Exec {
+	return &Exec{rp: rp, scratch: make([]comm.Buffer, len(rp.Scratch))}
+}
+
+// Schedule returns the executed whole-world schedule (nil for executors
+// built from a rank program).
 func (e *Exec) Schedule() *Schedule { return e.s }
+
+// Program returns the rank program the executor runs: the pre-sliced one,
+// or the last slice taken from the whole-world schedule (nil before the
+// first Run).
+func (e *Exec) Program() *RankProgram { return e.rp }
 
 // ensure (re)allocates *buf to n bytes matching ref's virtualness, the
 // staging discipline shared with core.
@@ -51,14 +70,31 @@ func ensure(buf *comm.Buffer, ref comm.Buffer, n int) {
 // when non-nil, accrues Copy time under trace.PhaseRepack (the schedule's
 // repack cost in the phase breakdown); it may be nil.
 func (e *Exec) Run(c comm.Comm, send, recv comm.Buffer, block int, rec *trace.Recorder) error {
-	s := e.s
-	if c.Size() != s.Ranks {
-		return fmt.Errorf("sched: schedule %q compiled for %d ranks, communicator has %d", s.Name, s.Ranks, c.Size())
+	rp := e.rp
+	if e.s != nil && (rp == nil || rp.Rank != c.Rank()) {
+		if c.Size() != e.s.Ranks {
+			return fmt.Errorf("sched: schedule %q compiled for %d ranks, communicator has %d", e.s.Name, e.s.Ranks, c.Size())
+		}
+		var err error
+		rp, err = Slice(e.s, c.Rank())
+		if err != nil {
+			return err
+		}
+		e.rp = rp
+	}
+	if rp == nil {
+		return fmt.Errorf("sched: executor has no schedule")
+	}
+	if c.Size() != rp.Ranks {
+		return fmt.Errorf("sched: schedule %q compiled for %d ranks, communicator has %d", rp.Name, rp.Ranks, c.Size())
+	}
+	if c.Rank() != rp.Rank {
+		return fmt.Errorf("sched: rank program %q belongs to rank %d, communicator rank is %d", rp.Name, rp.Rank, c.Rank())
 	}
 	if block <= 0 {
 		return fmt.Errorf("sched: block must be positive, got %d", block)
 	}
-	for i, sz := range s.Scratch {
+	for i, sz := range rp.Scratch {
 		ensure(&e.scratch[i], send, sz*block)
 	}
 	ref := func(r Ref) comm.Buffer {
@@ -74,17 +110,15 @@ func (e *Exec) Run(c comm.Comm, send, recv comm.Buffer, block int, rec *trace.Re
 		return b.Slice(r.Off*block, r.N*block)
 	}
 
-	rank := c.Rank()
 	var reqs []comm.Request
-	for ri := range s.Rounds {
-		steps := s.Rounds[ri].Steps[rank]
+	for ri, steps := range rp.Rounds {
 		tag := TagBase + ri
 		reqs = reqs[:0]
 		for _, st := range steps {
 			if st.Kind == Recv || st.Kind == SendRecv {
 				rq, err := c.Irecv(ref(st.Dst), st.From, tag)
 				if err != nil {
-					return fmt.Errorf("sched: %s round %d recv from %d: %w", s.Name, ri, st.From, err)
+					return fmt.Errorf("sched: %s round %d recv from %d: %w", rp.Name, ri, st.From, err)
 				}
 				reqs = append(reqs, rq)
 			}
@@ -94,26 +128,26 @@ func (e *Exec) Run(c comm.Comm, send, recv comm.Buffer, block int, rec *trace.Re
 			case Copy:
 				t0 := c.Now()
 				if _, err := comm.CopyData(ref(st.Dst), ref(st.Src)); err != nil {
-					return fmt.Errorf("sched: %s round %d copy: %w", s.Name, ri, err)
+					return fmt.Errorf("sched: %s round %d copy: %w", rp.Name, ri, err)
 				}
 				if err := c.ChargeCopy(st.Src.N*block, 1); err != nil {
-					return err
+					return fmt.Errorf("sched: %s round %d copy: %w", rp.Name, ri, err)
 				}
 				rec.Add(trace.PhaseRepack, c.Now()-t0)
 			case Send, SendRecv:
 				rq, err := c.Isend(ref(st.Src), st.To, tag)
 				if err != nil {
-					return fmt.Errorf("sched: %s round %d send to %d: %w", s.Name, ri, st.To, err)
+					return fmt.Errorf("sched: %s round %d send to %d: %w", rp.Name, ri, st.To, err)
 				}
 				reqs = append(reqs, rq)
 			case Recv:
 				// Posted above.
 			default:
-				return fmt.Errorf("sched: %s round %d: kind %q is not executable", s.Name, ri, st.Kind)
+				return fmt.Errorf("sched: %s round %d: kind %q is not executable", rp.Name, ri, st.Kind)
 			}
 		}
 		if err := c.WaitAll(reqs); err != nil {
-			return fmt.Errorf("sched: %s round %d: %w", s.Name, ri, err)
+			return fmt.Errorf("sched: %s round %d: %w", rp.Name, ri, err)
 		}
 	}
 	return nil

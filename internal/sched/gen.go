@@ -36,14 +36,31 @@ func Generators() []string {
 	return names
 }
 
+// MaxRanks is the largest world a schedule can address: block identities
+// are packed as int32(src*p + dst), so p*p must stay below 2^31
+// (floor(sqrt(2^31 - 1))). Generate and GenerateRank reject larger
+// worlds by name instead of silently wrapping ids negative.
+const MaxRanks = 46340
+
+// checkRanks validates a world size against MaxRanks.
+func checkRanks(p int) error {
+	if p <= 0 {
+		return fmt.Errorf("sched: rank count must be positive, got %d", p)
+	}
+	if p > MaxRanks {
+		return fmt.Errorf("sched: %d ranks exceeds the schedule id width (max %d ranks: block ids are int32 src*p+dst)", p, MaxRanks)
+	}
+	return nil
+}
+
 // Generate compiles the named schedule for p ranks (m may be nil).
 func Generate(name string, p int, m *topo.Mapping) (*Schedule, error) {
 	g, ok := generators[name]
 	if !ok {
 		return nil, fmt.Errorf("sched: unknown generator %q (have %v)", name, Generators())
 	}
-	if p <= 0 {
-		return nil, fmt.Errorf("sched: rank count must be positive, got %d", p)
+	if err := checkRanks(p); err != nil {
+		return nil, err
 	}
 	return g(p, m)
 }
@@ -59,29 +76,53 @@ func selfCopy(r int) Step {
 	return Step{Kind: Copy, Src: sendRef(r, 1), Dst: recvRef(r, 1)}
 }
 
+// The classic generators are built from per-rank step builders: Generate
+// assembles all p ranks into a Schedule, GenerateRank emits exactly one
+// rank's rounds as a RankProgram (O(p) work for direct/pairwise,
+// O(p log p) for bruck) without ever materializing the whole world.
+
+// directSteps is rank r's single round of the spread direct exchange: all
+// p-1 receives posted first, then all p-1 sends, in spread order (peer
+// r±i) to avoid hotspots.
+func directSteps(p, r int) []Step {
+	steps := []Step{selfCopy(r)}
+	for i := 1; i < p; i++ {
+		from := (r - i + p) % p
+		steps = append(steps, Step{Kind: Recv, From: from, Dst: recvRef(from, 1)})
+	}
+	for i := 1; i < p; i++ {
+		to := (r + i) % p
+		steps = append(steps, Step{Kind: Send, To: to, Src: sendRef(to, 1)})
+	}
+	return steps
+}
+
 // Direct compiles the spread direct exchange (the nonblocking algorithm):
 // a single round in which every rank posts all p-1 receives, then all p-1
-// sends, in spread order (peer r±i) to avoid hotspots.
+// sends.
 func Direct(p int, _ *topo.Mapping) (*Schedule, error) {
 	s := &Schedule{Format: FormatVersion, Name: "direct", Ranks: p, Rounds: []Round{{Steps: make([][]Step, p)}}}
 	for r := 0; r < p; r++ {
-		steps := []Step{selfCopy(r)}
-		for i := 1; i < p; i++ {
-			from := (r - i + p) % p
-			steps = append(steps, Step{Kind: Recv, From: from, Dst: recvRef(from, 1)})
-		}
-		for i := 1; i < p; i++ {
-			to := (r + i) % p
-			steps = append(steps, Step{Kind: Send, To: to, Src: sendRef(to, 1)})
-		}
-		s.Rounds[0].Steps[r] = steps
+		s.Rounds[0].Steps[r] = directSteps(p, r)
 	}
 	return s, nil
 }
 
+func directRank(p, r int, _ *topo.Mapping) (*RankProgram, error) {
+	return &RankProgram{Format: FormatVersion, Name: "direct", Ranks: p, Rank: r,
+		Rounds: [][]Step{directSteps(p, r)}}, nil
+}
+
+// pairwiseSteps is rank r's single step of pairwise round i (1 <= i < p):
+// one SendRecv with disjoint partners (send to r+i, receive from r-i).
+func pairwiseSteps(p, r, i int) []Step {
+	to := (r + i) % p
+	from := (r - i + p) % p
+	return []Step{{Kind: SendRecv, To: to, Src: sendRef(to, 1), From: from, Dst: recvRef(from, 1)}}
+}
+
 // Pairwise compiles Algorithm 1: a self-copy round followed by p-1
-// rounds, each one SendRecv per rank with disjoint partners (send to r+i,
-// receive from r-i).
+// rounds, each one SendRecv per rank with disjoint partners.
 func Pairwise(p int, _ *topo.Mapping) (*Schedule, error) {
 	s := &Schedule{Format: FormatVersion, Name: "pairwise", Ranks: p}
 	r0 := Round{Steps: make([][]Step, p)}
@@ -92,35 +133,26 @@ func Pairwise(p int, _ *topo.Mapping) (*Schedule, error) {
 	for i := 1; i < p; i++ {
 		rd := Round{Steps: make([][]Step, p)}
 		for r := 0; r < p; r++ {
-			to := (r + i) % p
-			from := (r - i + p) % p
-			rd.Steps[r] = []Step{{Kind: SendRecv, To: to, Src: sendRef(to, 1), From: from, Dst: recvRef(from, 1)}}
+			rd.Steps[r] = pairwiseSteps(p, r, i)
 		}
 		s.Rounds = append(s.Rounds, rd)
 	}
 	return s, nil
 }
 
-// Bruck compiles the Bruck algorithm: a rotation round, ceil(log2 p)
-// exchange rounds each packing the blocks whose index has bit k set, and
-// a final unpack + inverse-rotation round. Receive staging is
-// double-buffered so an exchange round never receives into the buffer its
-// unpack copies are still reading — the race the verifier rejects.
-func Bruck(p int, _ *topo.Mapping) (*Schedule, error) {
-	// Scratch layout: 0 = rotation buffer (p blocks), 1 = pack-send,
-	// 2/3 = alternating pack-recv.
-	const (
-		tmp   = 0
-		packS = 1
-		packA = 2
-	)
-	if p == 1 {
-		return Pairwise(p, nil)
+func pairwiseRank(p, r int, _ *topo.Mapping) (*RankProgram, error) {
+	rp := &RankProgram{Format: FormatVersion, Name: "pairwise", Ranks: p, Rank: r,
+		Rounds: [][]Step{{selfCopy(r)}}}
+	for i := 1; i < p; i++ {
+		rp.Rounds = append(rp.Rounds, pairwiseSteps(p, r, i))
 	}
-	// h is the widest exchange: the largest count of indices in [0,p)
-	// with bit k set, over the rounds k = 1, 2, 4, ...
-	h := 0
-	var ks []int
+	return rp, nil
+}
+
+// bruckPlan computes the exchange rounds ks (k = 1, 2, 4, ...) and the
+// widest exchange h: the largest count of indices in [0,p) with bit k
+// set, over the rounds.
+func bruckPlan(p int) (ks []int, h int) {
 	for k := 1; k < p; k <<= 1 {
 		ks = append(ks, k)
 		m := 0
@@ -133,73 +165,125 @@ func Bruck(p int, _ *topo.Mapping) (*Schedule, error) {
 			h = m
 		}
 	}
+	return ks, h
+}
+
+// bruckScratch is the Bruck scratch layout: 0 = rotation buffer (p
+// blocks), 1 = pack-send, 2/3 = alternating pack-recv.
+const (
+	bruckTmp   = 0
+	bruckPackS = 1
+	bruckPackA = 2
+)
+
+// bruckRotateSteps is rank r's round 0: rotate so local block i is the
+// data destined to rank r+i (two contiguous copies per rank).
+func bruckRotateSteps(p, r int) []Step {
+	steps := []Step{{Kind: Copy, Src: sendRef(r, p-r), Dst: scratchRef(bruckTmp, 0, p-r)}}
+	if r > 0 {
+		steps = append(steps, Step{Kind: Copy, Src: sendRef(0, r), Dst: scratchRef(bruckTmp, p-r, r)})
+	}
+	return steps
+}
+
+// bruckUnpackSteps emits the copies restoring round ki's received blocks
+// from its pack-recv buffer into the rotation buffer (identical on every
+// rank).
+func bruckUnpackSteps(p int, ks []int, ki int) []Step {
+	k := ks[ki]
+	buf := bruckPackA + ki%2
+	var steps []Step
+	m := 0
+	for i := 0; i < p; i++ {
+		if i&k != 0 {
+			steps = append(steps, Step{Kind: Copy, Src: scratchRef(buf, m, 1), Dst: scratchRef(bruckTmp, i, 1)})
+			m++
+		}
+	}
+	return steps
+}
+
+// bruckExchangeSteps is rank r's steps of exchange round ki: unpack the
+// previous round (ki > 0), pack the blocks whose index has bit ks[ki]
+// set, and exchange with the partners ±ks[ki].
+func bruckExchangeSteps(p int, ks []int, ki, r int) []Step {
+	k := ks[ki]
+	var steps []Step
+	if ki > 0 {
+		steps = append(steps, bruckUnpackSteps(p, ks, ki-1)...)
+	}
+	m := 0
+	for i := 0; i < p; i++ {
+		if i&k != 0 {
+			steps = append(steps, Step{Kind: Copy, Src: scratchRef(bruckTmp, i, 1), Dst: scratchRef(bruckPackS, m, 1)})
+			m++
+		}
+	}
+	to := (r + k) % p
+	from := (r - k + p) % p
+	steps = append(steps, Step{
+		Kind: SendRecv,
+		To:   to, Src: scratchRef(bruckPackS, 0, m),
+		From: from, Dst: scratchRef(bruckPackA+ki%2, 0, m),
+	})
+	return steps
+}
+
+// bruckFinalSteps is rank r's final round: unpack the last exchange, then
+// invert the rotation — local block i holds the data from rank r-i.
+func bruckFinalSteps(p int, ks []int, r int) []Step {
+	steps := bruckUnpackSteps(p, ks, len(ks)-1)
+	for i := 0; i < p; i++ {
+		src := (r - i + p) % p
+		steps = append(steps, Step{Kind: Copy, Src: scratchRef(bruckTmp, i, 1), Dst: recvRef(src, 1)})
+	}
+	return steps
+}
+
+// Bruck compiles the Bruck algorithm: a rotation round, ceil(log2 p)
+// exchange rounds each packing the blocks whose index has bit k set, and
+// a final unpack + inverse-rotation round. Receive staging is
+// double-buffered so an exchange round never receives into the buffer its
+// unpack copies are still reading — the race the verifier rejects.
+func Bruck(p int, _ *topo.Mapping) (*Schedule, error) {
+	if p == 1 {
+		return Pairwise(p, nil)
+	}
+	ks, h := bruckPlan(p)
 	s := &Schedule{Format: FormatVersion, Name: "bruck", Ranks: p, Scratch: []int{p, h, h, h}}
 
-	// Round 0: rotate so local block i is the data destined to rank r+i
-	// (two contiguous copies per rank).
 	r0 := Round{Steps: make([][]Step, p)}
 	for r := 0; r < p; r++ {
-		steps := []Step{{Kind: Copy, Src: sendRef(r, p-r), Dst: scratchRef(tmp, 0, p-r)}}
-		if r > 0 {
-			steps = append(steps, Step{Kind: Copy, Src: sendRef(0, r), Dst: scratchRef(tmp, p-r, r)})
-		}
-		r0.Steps[r] = steps
+		r0.Steps[r] = bruckRotateSteps(p, r)
 	}
 	s.Rounds = append(s.Rounds, r0)
 
-	// unpack emits the copies restoring round ki's received blocks from
-	// its pack-recv buffer into the rotation buffer.
-	unpack := func(ki int) []Step {
-		k := ks[ki]
-		buf := packA + ki%2
-		var steps []Step
-		m := 0
-		for i := 0; i < p; i++ {
-			if i&k != 0 {
-				steps = append(steps, Step{Kind: Copy, Src: scratchRef(buf, m, 1), Dst: scratchRef(tmp, i, 1)})
-				m++
-			}
-		}
-		return steps
-	}
-
-	for ki, k := range ks {
+	for ki := range ks {
 		rd := Round{Steps: make([][]Step, p)}
 		for r := 0; r < p; r++ {
-			var steps []Step
-			if ki > 0 {
-				steps = append(steps, unpack(ki-1)...)
-			}
-			m := 0
-			for i := 0; i < p; i++ {
-				if i&k != 0 {
-					steps = append(steps, Step{Kind: Copy, Src: scratchRef(tmp, i, 1), Dst: scratchRef(packS, m, 1)})
-					m++
-				}
-			}
-			to := (r + k) % p
-			from := (r - k + p) % p
-			steps = append(steps, Step{
-				Kind: SendRecv,
-				To:   to, Src: scratchRef(packS, 0, m),
-				From: from, Dst: scratchRef(packA+ki%2, 0, m),
-			})
-			rd.Steps[r] = steps
+			rd.Steps[r] = bruckExchangeSteps(p, ks, ki, r)
 		}
 		s.Rounds = append(s.Rounds, rd)
 	}
 
-	// Final round: unpack the last exchange, then invert the rotation —
-	// local block i holds the data from rank r-i.
 	fin := Round{Steps: make([][]Step, p)}
 	for r := 0; r < p; r++ {
-		steps := unpack(len(ks) - 1)
-		for i := 0; i < p; i++ {
-			src := (r - i + p) % p
-			steps = append(steps, Step{Kind: Copy, Src: scratchRef(tmp, i, 1), Dst: recvRef(src, 1)})
-		}
-		fin.Steps[r] = steps
+		fin.Steps[r] = bruckFinalSteps(p, ks, r)
 	}
 	s.Rounds = append(s.Rounds, fin)
 	return s, nil
+}
+
+func bruckRank(p, r int, m *topo.Mapping) (*RankProgram, error) {
+	if p == 1 {
+		return pairwiseRank(p, r, m)
+	}
+	ks, h := bruckPlan(p)
+	rp := &RankProgram{Format: FormatVersion, Name: "bruck", Ranks: p, Rank: r, Scratch: []int{p, h, h, h}}
+	rp.Rounds = append(rp.Rounds, bruckRotateSteps(p, r))
+	for ki := range ks {
+		rp.Rounds = append(rp.Rounds, bruckExchangeSteps(p, ks, ki, r))
+	}
+	rp.Rounds = append(rp.Rounds, bruckFinalSteps(p, ks, r))
+	return rp, nil
 }

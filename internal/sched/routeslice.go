@@ -1,0 +1,512 @@
+package sched
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"alltoallx/internal/topo"
+)
+
+// This file is the rank-sliced counterpart of routes.go: it compiles one
+// rank's program of a route-based schedule without materializing all p×p
+// block paths. Where compileRoutes walks every (s, d) path and buckets
+// hops into per-round move lists, the slicers here answer the inverse
+// question — "which blocks depart from / arrive at rank x in round t?" —
+// in closed form per topology, so compiling rank x costs O(blocks routed
+// through x), not O(p^2 · diameter).
+//
+// The two implementations are deliberately independent: compileRoutes
+// stays the authoritative path-materializing construction (proved by the
+// full verifier), and property tests pin compileRank byte-identical to
+// its slices at randomized shapes.
+
+// rmsg is one packed message of a round: the peer and the identities
+// (s*p+d) of the blocks it carries, ascending.
+type rmsg struct {
+	peer   int
+	blocks []int32
+}
+
+// rankSlicer enumerates one topology's per-rank, per-round traffic.
+// outs/ins must return messages with peers ascending and block ids
+// ascending within each message — the compileRoutes order.
+type rankSlicer interface {
+	// rounds is the exchange round count (the longest route's hop count).
+	rounds() int
+	// packMax is the global staging bound: the largest per-rank, per-round
+	// packed block count over the whole world (compileRoutes' maxPack).
+	packMax() int
+	// outs lists the messages rank x sends in round t.
+	outs(x, t int) []rmsg
+	// ins lists the messages rank x receives in round t.
+	ins(x, t int) []rmsg
+}
+
+// Scratch layout shared with compileRoutes: 0 = transit (slot s*p+d holds
+// block (s,d) between hops), 1 = pack-send staging, 2/3 = alternating
+// pack-recv staging.
+const (
+	routeTransit = 0
+	routePackS   = 1
+	routePackA   = 2
+)
+
+// compileRank emits rank r's program of the route schedule described by
+// sl, mirroring compileRoutes' per-rank step construction exactly.
+func compileRank(name string, p, r int, sl rankSlicer) *RankProgram {
+	maxHops := sl.rounds()
+	mp := sl.packMax()
+	rp := &RankProgram{
+		Format: FormatVersion, Name: name, Ranks: p, Rank: r,
+		Scratch: []int{p * p, mp, mp, mp},
+	}
+
+	// unpackOf restores round t's arrivals from its pack-recv buffer: home
+	// blocks land in the recv buffer, in-transit blocks in transit slot
+	// s*p+d.
+	unpackOf := func(t int, ins []rmsg) []Step {
+		buf := routePackA + t%2
+		var steps []Step
+		off := 0
+		for _, m := range ins {
+			for _, b := range m.blocks {
+				src, dst := int(b)/p, int(b)%p
+				var to Ref
+				if dst == r {
+					to = recvRef(src, 1)
+				} else {
+					to = scratchRef(routeTransit, int(b), 1)
+				}
+				steps = append(steps, Step{Kind: Copy, Src: scratchRef(buf, off, 1), Dst: to})
+				off++
+			}
+		}
+		return steps
+	}
+
+	var prevIns []rmsg
+	for t := 0; t < maxHops; t++ {
+		var steps []Step
+		if t == 0 {
+			steps = append(steps, selfCopy(r))
+		} else {
+			steps = append(steps, unpackOf(t-1, prevIns)...)
+		}
+		off := 0
+		var sends []Step
+		for _, m := range sl.outs(r, t) {
+			start := off
+			for _, b := range m.blocks {
+				src, dst := int(b)/p, int(b)%p
+				var from Ref
+				if src == r {
+					from = sendRef(dst, 1)
+				} else {
+					from = scratchRef(routeTransit, int(b), 1)
+				}
+				steps = append(steps, Step{Kind: Copy, Src: from, Dst: scratchRef(routePackS, off, 1)})
+				off++
+			}
+			sends = append(sends, Step{Kind: Send, To: m.peer, Src: scratchRef(routePackS, start, off-start)})
+		}
+		ins := sl.ins(r, t)
+		off = 0
+		for _, m := range ins {
+			steps = append(steps, Step{Kind: Recv, From: m.peer, Dst: scratchRef(routePackA+t%2, off, len(m.blocks))})
+			off += len(m.blocks)
+		}
+		steps = append(steps, sends...)
+		rp.Rounds = append(rp.Rounds, steps)
+		prevIns = ins
+	}
+	rp.Rounds = append(rp.Rounds, unpackOf(maxHops-1, prevIns))
+	return rp
+}
+
+// sortBlocks orders block ids ascending (the in-message order
+// compileRoutes produces).
+func sortBlocks(b []int32) []int32 {
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return b
+}
+
+// sortMsgs orders messages by peer ascending.
+func sortMsgs(ms []rmsg) []rmsg {
+	sort.Slice(ms, func(i, j int) bool { return ms[i].peer < ms[j].peer })
+	return ms
+}
+
+// packMaxCache shares the computed global staging bound per (generator,
+// shape): entries are a few bytes, but computing one can cost a full
+// slice enumeration (torus) or an O(p^2) counting pass (hypercube).
+var packMaxCache = struct {
+	sync.Mutex
+	m map[string]int
+}{m: make(map[string]int)}
+
+func cachedPackMax(key string, compute func() int) int {
+	packMaxCache.Lock()
+	defer packMaxCache.Unlock()
+	if v, ok := packMaxCache.m[key]; ok {
+		return v
+	}
+	v := compute()
+	packMaxCache.m[key] = v
+	return v
+}
+
+// ---------------------------------------------------------------------
+// Ring
+//
+// Block (s, d) travels the shortest way around the bidirectional ring:
+// forward over distance j = (d-s) mod p when j <= p/2 (ties go forward),
+// else backward over p-j. A forward block sits at rank s+t at the start
+// of round t (t < j), so the blocks departing x forward in round t are
+// exactly {(x-t, x-t+j) : t < j <= floor(p/2)} — O(result), no path walk.
+
+type ringSlicer struct{ p int }
+
+func (s ringSlicer) maxF() int { return s.p / 2 }       // longest forward route
+func (s ringSlicer) maxB() int { return (s.p+1)/2 - 1 } // longest backward route
+
+func (s ringSlicer) rounds() int { return s.maxF() }
+
+// packMax: at round 0 every rank stages all its departing blocks —
+// floor(p/2) forward plus ceil(p/2)-1 backward = p-1 — and per-round
+// counts only shrink from there; arrivals mirror departures by symmetry.
+func (s ringSlicer) packMax() int { return s.p - 1 }
+
+func (s ringSlicer) traffic(x, t int, arrivals bool) []rmsg {
+	p := s.p
+	// fwdAt/bwdAt: the rank whose round-t position is relevant. For
+	// departures it is x itself; for arrivals, the upstream neighbor.
+	fwdAt, bwdAt := x, x
+	fwdPeer, bwdPeer := (x+1)%p, (x-1+p)%p
+	if arrivals {
+		fwdAt, bwdAt = (x-1+p)%p, (x+1)%p
+		fwdPeer, bwdPeer = (x-1+p)%p, (x+1)%p
+	}
+	var msgs []rmsg
+	if t < s.maxF() {
+		src := ((fwdAt-t)%p + p) % p
+		blocks := make([]int32, 0, s.maxF()-t)
+		for j := t + 1; j <= s.maxF(); j++ {
+			blocks = append(blocks, int32(src*p+(src+j)%p))
+		}
+		msgs = append(msgs, rmsg{peer: fwdPeer, blocks: sortBlocks(blocks)})
+	}
+	if t < s.maxB() {
+		src := (bwdAt + t) % p
+		blocks := make([]int32, 0, s.maxB()-t)
+		for j := t + 1; j <= s.maxB(); j++ {
+			blocks = append(blocks, int32(src*p+((src-j)%p+p)%p))
+		}
+		msgs = append(msgs, rmsg{peer: bwdPeer, blocks: sortBlocks(blocks)})
+	}
+	return sortMsgs(msgs)
+}
+
+func (s ringSlicer) outs(x, t int) []rmsg { return s.traffic(x, t, false) }
+func (s ringSlicer) ins(x, t int) []rmsg  { return s.traffic(x, t, true) }
+
+func ringRank(p, r int, m *topo.Mapping) (*RankProgram, error) {
+	if p == 1 {
+		return pairwiseRank(p, r, m)
+	}
+	return compileRank("ring", p, r, ringSlicer{p: p}), nil
+}
+
+// ---------------------------------------------------------------------
+// Torus
+//
+// Block ((si,sj) -> (di,dj)) first rides the row ring to column dj (a =
+// ring distance sj->dj over cols), then the column ring to row di (b =
+// ring distance si->di over rows). In round t < a it sits at (si, pos_t)
+// in its row ring; in round a <= t < a+b at (pos_{t-a}, dj) in its column
+// ring. Both phases invert exactly like the plain ring; the column phase
+// additionally enumerates the source column sj (cols candidates, each
+// fixing a = ringdist(sj, xj)).
+
+type torusSlicer struct{ rows, cols int }
+
+func (s torusSlicer) p() int { return s.rows * s.cols }
+
+func (s torusSlicer) rounds() int { return s.cols/2 + s.rows/2 }
+
+func (s torusSlicer) packMax() int {
+	key := fmt.Sprintf("torus|%d|%d", s.rows, s.cols)
+	return cachedPackMax(key, func() int {
+		// The torus is vertex-transitive (ring routes depend only on index
+		// differences), so every rank sees the same per-round totals: rank
+		// 0's maximum is the global maximum.
+		mp := 1
+		for t := 0; t < s.rounds(); t++ {
+			for _, dir := range [2][]rmsg{s.outs(0, t), s.ins(0, t)} {
+				n := 0
+				for _, m := range dir {
+					n += len(m.blocks)
+				}
+				if n > mp {
+					mp = n
+				}
+			}
+		}
+		return mp
+	})
+}
+
+// ringDist is the route distance of the shortest-direction ring rule.
+func ringDist(a, b, n int) int {
+	f := ((b-a)%n + n) % n
+	if f <= n/2 {
+		return f
+	}
+	return n - f
+}
+
+func (s torusSlicer) traffic(x, t int, arrivals bool) []rmsg {
+	rows, cols, p := s.rows, s.cols, s.p()
+	xi, xj := x/cols, x%cols
+	maxFc, maxBc := cols/2, (cols+1)/2-1
+	maxFr, maxBr := rows/2, (rows+1)/2-1
+	var msgs []rmsg
+
+	// Row phase: blocks in row xi still riding the row ring. For
+	// departures the round-t column position is xj; for arrivals the
+	// upstream neighbor's.
+	rowPhase := func(at int, peer int, backward bool) {
+		var blocks []int32
+		if !backward && t < maxFc {
+			sj := ((at-t)%cols + cols) % cols
+			src := xi*cols + sj
+			for j := t + 1; j <= maxFc; j++ {
+				dj := (sj + j) % cols
+				for di := 0; di < rows; di++ {
+					blocks = append(blocks, int32(src*p+di*cols+dj))
+				}
+			}
+		}
+		if backward && t < maxBc {
+			sj := (at + t) % cols
+			src := xi*cols + sj
+			for j := t + 1; j <= maxBc; j++ {
+				dj := ((sj-j)%cols + cols) % cols
+				for di := 0; di < rows; di++ {
+					blocks = append(blocks, int32(src*p+di*cols+dj))
+				}
+			}
+		}
+		if len(blocks) > 0 {
+			msgs = append(msgs, rmsg{peer: peer, blocks: sortBlocks(blocks)})
+		}
+	}
+	if arrivals {
+		rowPhase((xj-1+cols)%cols, xi*cols+(xj-1+cols)%cols, false)
+		rowPhase((xj+1)%cols, xi*cols+(xj+1)%cols, true)
+	} else {
+		rowPhase(xj, xi*cols+(xj+1)%cols, false)
+		rowPhase(xj, xi*cols+(xj-1+cols)%cols, true)
+	}
+
+	// Column phase: blocks at column xj whose row ride started after a =
+	// ringdist(sj, xj) rounds. tau = t - a is the column-ring round.
+	colPhase := func(at int, peer int, backward bool) {
+		var blocks []int32
+		for sj := 0; sj < cols; sj++ {
+			a := ringDist(sj, xj, cols)
+			tau := t - a
+			if tau < 0 {
+				continue
+			}
+			if !backward && tau < maxFr {
+				si := ((at-tau)%rows + rows) % rows
+				src := si*cols + sj
+				for i := tau + 1; i <= maxFr; i++ {
+					di := (si + i) % rows
+					blocks = append(blocks, int32(src*p+di*cols+xj))
+				}
+			}
+			if backward && tau < maxBr {
+				si := (at + tau) % rows
+				src := si*cols + sj
+				for i := tau + 1; i <= maxBr; i++ {
+					di := ((si-i)%rows + rows) % rows
+					blocks = append(blocks, int32(src*p+di*cols+xj))
+				}
+			}
+		}
+		if len(blocks) > 0 {
+			msgs = append(msgs, rmsg{peer: peer, blocks: sortBlocks(blocks)})
+		}
+	}
+	if arrivals {
+		colPhase((xi-1+rows)%rows, ((xi-1+rows)%rows)*cols+xj, false)
+		colPhase((xi+1)%rows, ((xi+1)%rows)*cols+xj, true)
+	} else {
+		colPhase(xi, ((xi+1)%rows)*cols+xj, false)
+		colPhase(xi, ((xi-1+rows)%rows)*cols+xj, true)
+	}
+	return sortMsgs(msgs)
+}
+
+func (s torusSlicer) outs(x, t int) []rmsg { return s.traffic(x, t, false) }
+func (s torusSlicer) ins(x, t int) []rmsg  { return s.traffic(x, t, true) }
+
+func torusRank(p, r int, m *topo.Mapping) (*RankProgram, error) {
+	rows, cols := torusShape(p, m)
+	if p == 1 {
+		return pairwiseRank(p, r, m)
+	}
+	name := fmt.Sprintf("torus%dx%d", rows, cols)
+	return compileRank(name, p, r, torusSlicer{rows: rows, cols: cols}), nil
+}
+
+// ---------------------------------------------------------------------
+// Hypercube
+//
+// Block (s, d) fixes the differing bits of s^d one per round, scanning
+// dimensions cyclically from the source-dependent start bit (s+j) mod k.
+// Its position after t fixes is s ^ e where e is the first t differing
+// bits in scan order — so the blocks at rank x in round t are found by
+// enumerating s with popcount(s^x) = t: the bits of e pin scan positions
+// below tau = 1 + max scan index of e (where d must agree with x), and
+// the k - tau later-scanned bits of d are free.
+
+type hcubeSlicer struct{ p, k int }
+
+func (s hcubeSlicer) rounds() int { return s.k }
+
+// scanTau returns 1 + the largest scan index of e's bits from source s
+// (0 for e == 0).
+func (s hcubeSlicer) scanTau(src, e int) int {
+	tau := 0
+	for b := 0; b < s.k; b++ {
+		if e>>b&1 == 1 {
+			j := ((b-src)%s.k + s.k) % s.k
+			if j+1 > tau {
+				tau = j + 1
+			}
+		}
+	}
+	return tau
+}
+
+func (s hcubeSlicer) packMax() int {
+	key := fmt.Sprintf("hypercube|%d", s.p)
+	return cachedPackMax(key, func() int {
+		// Unlike the rings, the scan start bit depends on the source's
+		// arithmetic value, so per-rank totals are not symmetric in
+		// general: count every (rank, round) with an O(p^2) pass (counts
+		// only — no paths, no steps).
+		mp := 1
+		for x := 0; x < s.p; x++ {
+			outT := make([]int, s.k+1)
+			inT := make([]int, s.k+1)
+			for src := 0; src < s.p; src++ {
+				e := src ^ x
+				m := bits.OnesCount(uint(e))
+				free := s.k - s.scanTau(src, e)
+				outT[m] += 1<<free - 1
+				if m >= 1 {
+					inT[m-1] += 1 << free
+				}
+			}
+			for _, n := range outT {
+				if n > mp {
+					mp = n
+				}
+			}
+			for _, n := range inT {
+				if n > mp {
+					mp = n
+				}
+			}
+		}
+		return mp
+	})
+}
+
+func (s hcubeSlicer) outs(x, t int) []rmsg {
+	byPeer := make(map[int][]int32)
+	for src := 0; src < s.p; src++ {
+		e := src ^ x
+		if bits.OnesCount(uint(e)) != t {
+			continue
+		}
+		tau := s.scanTau(src, e)
+		// Free dimensions in scan order; the first differing one is the
+		// next hop.
+		freeBits := make([]int, 0, s.k-tau)
+		for j := tau; j < s.k; j++ {
+			freeBits = append(freeBits, (src+j)%s.k)
+		}
+		for mask := 1; mask < 1<<len(freeBits); mask++ {
+			d := x
+			first := -1
+			for idx, b := range freeBits {
+				if mask>>idx&1 == 1 {
+					d ^= 1 << b
+					if first < 0 {
+						first = b
+					}
+				}
+			}
+			peer := x ^ 1<<first
+			byPeer[peer] = append(byPeer[peer], int32(src*s.p+d))
+		}
+	}
+	return groupMsgs(byPeer)
+}
+
+func (s hcubeSlicer) ins(x, t int) []rmsg {
+	byPeer := make(map[int][]int32)
+	for src := 0; src < s.p; src++ {
+		e := src ^ x
+		if bits.OnesCount(uint(e)) != t+1 {
+			continue
+		}
+		// The (t+1)-th fix is e's bit with the largest scan index: that
+		// hop carried the block here, so the sender is across it.
+		tau, last := 0, -1
+		for b := 0; b < s.k; b++ {
+			if e>>b&1 == 1 {
+				j := ((b-src)%s.k + s.k) % s.k
+				if j+1 > tau {
+					tau, last = j+1, b
+				}
+			}
+		}
+		from := x ^ 1<<last
+		for mask := 0; mask < 1<<(s.k-tau); mask++ {
+			d := x
+			for idx := 0; idx < s.k-tau; idx++ {
+				if mask>>idx&1 == 1 {
+					d ^= 1 << ((src + tau + idx) % s.k)
+				}
+			}
+			byPeer[from] = append(byPeer[from], int32(src*s.p+d))
+		}
+	}
+	return groupMsgs(byPeer)
+}
+
+// groupMsgs converts a peer->blocks map into the canonical message order.
+func groupMsgs(byPeer map[int][]int32) []rmsg {
+	msgs := make([]rmsg, 0, len(byPeer))
+	for peer, blocks := range byPeer {
+		msgs = append(msgs, rmsg{peer: peer, blocks: sortBlocks(blocks)})
+	}
+	return sortMsgs(msgs)
+}
+
+func hypercubeRank(p, r int, m *topo.Mapping) (*RankProgram, error) {
+	if p&(p-1) != 0 {
+		return nil, fmt.Errorf("sched: hypercube needs a power-of-two rank count, got %d", p)
+	}
+	if p == 1 {
+		return pairwiseRank(p, r, m)
+	}
+	return compileRank("hypercube", p, r, hcubeSlicer{p: p, k: bits.Len(uint(p)) - 1}), nil
+}

@@ -149,13 +149,7 @@ type Schedule struct {
 // SpaceSize returns the size in blocks of a buffer space id, or -1 for an
 // unknown space.
 func (s *Schedule) SpaceSize(buf int) int {
-	switch {
-	case buf == SpaceSend || buf == SpaceRecv:
-		return s.Ranks
-	case buf >= SpaceScratch && buf < SpaceScratch+len(s.Scratch):
-		return s.Scratch[buf-SpaceScratch]
-	}
-	return -1
+	return spaceSize(s.Ranks, s.Scratch, buf)
 }
 
 // Stats summarizes a schedule's cost structure.

@@ -1,0 +1,235 @@
+// Rank-sliced schedule compilation. A RankProgram is the slice of a
+// Schedule that one rank actually executes: its step list of every round,
+// plus the world-level facts (rank count, scratch declarations) the
+// executor and verifier need. GenerateRank compiles a rank's program
+// directly — O(slice) memory instead of the whole world's O(p^2) — so
+// schedule-backed algorithms scale to worlds where materializing (or
+// symbolically verifying) the assembled schedule is out of the question.
+//
+// The contract, enforced by property tests: for every generator and every
+// (p, rank, topology), GenerateRank is byte-identical to
+// Slice(Generate(...), rank). The classic generators share per-rank step
+// builders with Generate; the route-compiled families (ring, torus,
+// hypercube) have independent inverse-routing slicers in routeslice.go,
+// cross-checked against the path-materializing compiler.
+
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"alltoallx/internal/artifact"
+	"alltoallx/internal/topo"
+)
+
+// RankProgram is one rank's compiled schedule: Rounds[ri] is this rank's
+// step list in round ri (step semantics and the round discipline are
+// exactly those of Schedule). Scratch declares the same per-rank scratch
+// spaces the whole-world schedule would; Ranks is the world size the
+// program is compiled for.
+type RankProgram struct {
+	// Format is the IR format version (FormatVersion).
+	Format int `json:"format"`
+	// Name labels the originating schedule (generator name).
+	Name string `json:"name"`
+	// Ranks is the world size the program is compiled for.
+	Ranks int `json:"ranks"`
+	// Rank is the rank this program belongs to.
+	Rank int `json:"rank"`
+	// Scratch declares scratch spaces, identically to Schedule.Scratch.
+	Scratch []int `json:"scratch,omitempty"`
+	// Rounds[ri] is this rank's steps in round ri.
+	Rounds [][]Step `json:"rounds"`
+}
+
+// Slice extracts rank's program from an assembled schedule. The step
+// lists are shared with the schedule, not copied: schedules are immutable
+// after generation.
+func Slice(s *Schedule, rank int) (*RankProgram, error) {
+	if s == nil {
+		return nil, fmt.Errorf("sched: cannot slice a nil schedule")
+	}
+	if rank < 0 || rank >= s.Ranks {
+		return nil, fmt.Errorf("sched: rank %d out of range for a %d-rank schedule", rank, s.Ranks)
+	}
+	rp := &RankProgram{Format: s.Format, Name: s.Name, Ranks: s.Ranks, Rank: rank, Scratch: s.Scratch}
+	for ri := range s.Rounds {
+		if rank >= len(s.Rounds[ri].Steps) {
+			return nil, fmt.Errorf("sched: round %d has only %d step lists, cannot slice rank %d", ri, len(s.Rounds[ri].Steps), rank)
+		}
+		rp.Rounds = append(rp.Rounds, s.Rounds[ri].Steps[rank])
+	}
+	return rp, nil
+}
+
+// SpaceSize returns the size in blocks of a buffer space id, or -1 for an
+// unknown space (the same layout as the whole-world schedule).
+func (rp *RankProgram) SpaceSize(buf int) int {
+	return spaceSize(rp.Ranks, rp.Scratch, buf)
+}
+
+// spaceSize is the shared Schedule/RankProgram buffer-space layout.
+func spaceSize(ranks int, scratch []int, buf int) int {
+	switch {
+	case buf == SpaceSend || buf == SpaceRecv:
+		return ranks
+	case buf >= SpaceScratch && buf < SpaceScratch+len(scratch):
+		return scratch[buf-SpaceScratch]
+	}
+	return -1
+}
+
+// Stats computes the program's summary counters: the same fields as
+// Schedule.Stats restricted to this rank's steps (Messages counts this
+// rank's sends).
+func (rp *RankProgram) Stats() Stats {
+	st := Stats{Rounds: len(rp.Rounds)}
+	for _, sz := range rp.Scratch {
+		st.ScratchBlocks += sz
+	}
+	for _, steps := range rp.Rounds {
+		msgs := 0
+		for _, step := range steps {
+			switch step.Kind {
+			case Send, SendRecv:
+				msgs++
+				st.WireBlocks += step.Src.N
+			case Copy:
+				st.Copies++
+				st.CopyBlocks += step.Src.N
+			}
+		}
+		st.Messages += msgs
+		if msgs > st.MaxRoundMessages {
+			st.MaxRoundMessages = msgs
+		}
+	}
+	return st
+}
+
+// Steps returns the total step count of the program (the quantity cache
+// byte accounting is based on).
+func (rp *RankProgram) Steps() int {
+	n := 0
+	for _, steps := range rp.Rounds {
+		n += len(steps)
+	}
+	return n
+}
+
+// stepBytes approximates the in-memory footprint of one Step (kind
+// header, peers, two refs, slice overhead amortized).
+const stepBytes = 96
+
+// MemBytes estimates the program's in-memory footprint, for cache byte
+// accounting.
+func (rp *RankProgram) MemBytes() int64 {
+	return int64(rp.Steps())*stepBytes + int64(len(rp.Rounds))*24 + int64(len(rp.Scratch))*8 + 128
+}
+
+// Steps returns the total step count of the schedule across all ranks.
+func (s *Schedule) Steps() int {
+	n := 0
+	for _, rd := range s.Rounds {
+		for _, steps := range rd.Steps {
+			n += len(steps)
+		}
+	}
+	return n
+}
+
+// MemBytes estimates the schedule's in-memory footprint, for cache byte
+// accounting.
+func (s *Schedule) MemBytes() int64 {
+	rows := 0
+	for _, rd := range s.Rounds {
+		rows += len(rd.Steps)
+	}
+	return int64(s.Steps())*stepBytes + int64(rows)*24 + int64(len(s.Scratch))*8 + 128
+}
+
+// Encode writes the rank program as versioned JSON (the Format field is
+// forced to FormatVersion).
+func (rp *RankProgram) Encode(w io.Writer) error {
+	rp.Format = FormatVersion
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(rp)
+}
+
+// DecodeRank reads one rank program from r, checking the format version
+// and basic shape (like Decode, it stays cheap; run VerifyRank for the
+// local correctness checks).
+func DecodeRank(r io.Reader) (*RankProgram, error) {
+	var rp RankProgram
+	if err := json.NewDecoder(r).Decode(&rp); err != nil {
+		return nil, fmt.Errorf("sched: decoding rank program: %w", err)
+	}
+	if rp.Format != FormatVersion {
+		return nil, fmt.Errorf("sched: rank program format %d, this build reads format %d — regenerate with a2asched slice", rp.Format, FormatVersion)
+	}
+	if rp.Ranks <= 0 {
+		return nil, fmt.Errorf("sched: rank program has invalid rank count %d", rp.Ranks)
+	}
+	if rp.Rank < 0 || rp.Rank >= rp.Ranks {
+		return nil, fmt.Errorf("sched: rank program rank %d out of range 0..%d", rp.Rank, rp.Ranks-1)
+	}
+	return &rp, nil
+}
+
+// Save writes the rank program to path atomically (the shared artifact
+// discipline).
+func (rp *RankProgram) Save(path string) error {
+	return artifact.Save(path, "sched: saving rank program", rp.Encode)
+}
+
+// rankGenerator compiles one rank's program directly.
+type rankGenerator func(p, rank int, m *topo.Mapping) (*RankProgram, error)
+
+// rankGenerators mirrors the generators registry, one sliced
+// implementation per generator. A test pins the two key sets equal.
+var rankGenerators = map[string]rankGenerator{
+	"direct":    directRank,
+	"pairwise":  pairwiseRank,
+	"bruck":     bruckRank,
+	"ring":      ringRank,
+	"torus":     torusRank,
+	"hypercube": hypercubeRank,
+}
+
+// GenerateRank compiles the named schedule's slice for one rank of a
+// p-rank world (m may be nil). The result is byte-identical to
+// Slice(Generate(name, p, m), rank) but costs O(slice): O(p) for
+// direct/pairwise, O(p log p) for bruck, and O(blocks routed through the
+// rank) for the route-compiled families — never O(p^2) memory.
+func GenerateRank(name string, p, rank int, m *topo.Mapping) (*RankProgram, error) {
+	g, ok := rankGenerators[name]
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown generator %q (have %v)", name, Generators())
+	}
+	if err := checkRanks(p); err != nil {
+		return nil, err
+	}
+	if rank < 0 || rank >= p {
+		return nil, fmt.Errorf("sched: rank %d out of range 0..%d", rank, p-1)
+	}
+	return g(p, rank, m)
+}
+
+// LoadRank reads the rank program at path (DecodeRank semantics:
+// format-checked, not verified).
+func LoadRank(path string) (*RankProgram, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sched: loading rank program: %w", err)
+	}
+	defer f.Close()
+	rp, err := DecodeRank(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rp, nil
+}
