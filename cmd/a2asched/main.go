@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"alltoallx/internal/sched"
 	"alltoallx/internal/topo"
@@ -76,7 +77,10 @@ commands:
   slice  -name G -ranks N   compile + verify ONE rank's program (rank-sliced, O(slice)
          -rank R [-world]   memory; -world also streams the cross-rank verification)
   verify <file>             statically verify a schedule artifact
-  print  <file>             stats and per-round message matrices
+  print  [-linkload [-fabric K]] <file>
+                            stats and per-round message matrices; -linkload
+                            folds each round onto the fabric's links
+                            (the flow-level contention model's routes)
   diff   <a> <b>            compare two schedules round by round
 `)
 }
@@ -214,8 +218,28 @@ func runVerify(args []string) error {
 	return nil
 }
 
+// inferFabric maps a schedule's generator name to the fabric kind its
+// routes were compiled for (the sched:* family names its topology).
+func inferFabric(name string) (string, error) {
+	switch {
+	case name == "ring":
+		return "ring", nil
+	case strings.HasPrefix(name, "torus"):
+		return "torus", nil
+	case name == "hypercube":
+		return "hypercube", nil
+	}
+	return "", fmt.Errorf("cannot infer a fabric from schedule %q; pass -fabric (one of %v)", name, topo.FabricKinds())
+}
+
 func runPrint(args []string) error {
-	path, err := oneFile("print", args)
+	fs := flag.NewFlagSet("print", flag.ExitOnError)
+	var (
+		linkload = fs.Bool("linkload", false, "also fold each round onto the fabric's links (static contention pressure)")
+		fabric   = fs.String("fabric", "", "fabric kind for -linkload (default: inferred from the schedule name)")
+	)
+	fs.Parse(args)
+	path, err := oneFile("print", fs.Args())
 	if err != nil {
 		return err
 	}
@@ -227,6 +251,25 @@ func runPrint(args []string) error {
 	// for), but says so up front.
 	if err := sched.Verify(s); err != nil {
 		fmt.Printf("note: schedule fails verification: %v\n", err)
+	}
+	if *linkload {
+		kind := *fabric
+		if kind == "" {
+			if kind, err = inferFabric(s.Name); err != nil {
+				return err
+			}
+		}
+		// A schedule artifact carries no node mapping, so each rank is its
+		// own fabric node — the shape the sched:* generators route for.
+		f, err := topo.NewFabric(kind, s.Ranks)
+		if err != nil {
+			return err
+		}
+		loads, err := sched.LinkLoads(s, f, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(sched.FormatLinkLoads(f, loads))
 	}
 	st := s.Stats()
 	fmt.Printf("schedule %q: %d ranks, %d rounds\n", s.Name, s.Ranks, st.Rounds)

@@ -35,7 +35,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment ID (fig7..fig18, table1, headline, overlap, regress, scale) or 'all'")
+		experiment = flag.String("experiment", "all", "experiment ID (fig7..fig18, table1, headline, overlap, regress, scale, contention) or 'all'")
 		scaleName  = flag.String("scale", "quick", "reproduction scale: quick or full")
 		nodes      = flag.Int("nodes", 0, "override node count (0 = experiment default)")
 		ppn        = flag.Int("ppn", 0, "override ranks per node (0 = scale default)")
@@ -55,9 +55,9 @@ func main() {
 		blockSize = flag.Int("block", 4096,
 			"with -experiment overlap: block bytes per rank pair")
 		jsonPath = flag.String("json", "",
-			"with -experiment regress or scale: write the machine-readable baseline (BENCH_regress.json / BENCH_scale.json) to this path")
+			"with -experiment regress, scale or contention: write the machine-readable baseline (BENCH_regress.json / BENCH_scale.json / BENCH_contention.json) to this path")
 		maxRanks = flag.Int("maxranks", 0,
-			"with -experiment scale: cap the swept world size (0 = the full 4096-rank sweep; CI smoke uses 256)")
+			"with -experiment scale or contention: cap the swept world size (0 = the experiment's full sweep; CI smoke uses 256)")
 	)
 	flag.Parse()
 
@@ -106,12 +106,27 @@ func main() {
 		}
 		return
 	}
+	if *experiment == "contention" {
+		if *tablePath != "" {
+			fatal(fmt.Errorf("-experiment contention and -table are mutually exclusive"))
+		}
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "op", "algo", "scale", "nodes", "ppn", "runs", "machine", "computefrac", "block":
+				fatal(fmt.Errorf("-%s does not apply to -experiment contention (the world shape, block sizes and algorithm family are fixed so snapshots stay comparable)", f.Name))
+			}
+		})
+		if err := runContention(*maxRanks, *jsonPath, progress); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "json":
-			fatal(fmt.Errorf("-json only applies with -experiment regress or scale"))
+			fatal(fmt.Errorf("-json only applies with -experiment regress, scale or contention"))
 		case "maxranks":
-			fatal(fmt.Errorf("-maxranks only applies with -experiment scale"))
+			fatal(fmt.Errorf("-maxranks only applies with -experiment scale or contention"))
 		}
 	})
 
@@ -320,6 +335,27 @@ func runScale(maxRanks int, jsonPath string, progress func(string)) error {
 		return nil
 	}
 	if err := s.Save(jsonPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
+	return nil
+}
+
+// runContention executes the flow-level contention comparison (every
+// Table 1 machine x fabric kind x block size, analytic vs flow model)
+// and optionally persists the machine-readable snapshot.
+func runContention(maxRanks int, jsonPath string, progress func(string)) error {
+	c, err := bench.RunContention(maxRanks, progress)
+	if err != nil {
+		return err
+	}
+	if err := c.Format(os.Stdout); err != nil {
+		return err
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	if err := c.Save(jsonPath); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)

@@ -51,15 +51,19 @@ type Config struct {
 	Runs int
 	// BaseSeed offsets the noise seeds; runs use BaseSeed+1..BaseSeed+Runs.
 	BaseSeed int64
+	// Fabric, when non-empty, enables the flow-level contention model
+	// over the named topo.Fabric kind (sim.ClusterConfig.Fabric); empty
+	// measures under the analytic model alone.
+	Fabric string
 }
 
 // Key returns a map key identifying the simulation (used to share runs
 // between series that read different phases of the same algorithm).
 func (c Config) Key() string {
-	return fmt.Sprintf("%s|%d|%d|%s|%s|%s|%d|%d|%d|%d|%d|%v|%s",
+	return fmt.Sprintf("%s|%d|%d|%s|%s|%s|%d|%d|%d|%d|%d|%v|%s|%s",
 		c.Machine.Name, c.Nodes, c.PPN, c.Op.Norm(), c.Algo, c.Opts.Inner,
 		c.Opts.PPL, c.Opts.PPG, c.Opts.BatchWindow, c.Block, c.Runs, c.Opts.GatherKind,
-		c.Opts.Table.Fingerprint())
+		c.Opts.Table.Fingerprint(), c.Fabric)
 }
 
 // Measure runs the configuration and returns its data point. The algorithm
@@ -92,6 +96,7 @@ func Measure(cfg Config) (Point, error) {
 		cc := sim.ClusterConfig{
 			Model: cfg.Machine, Nodes: cfg.Nodes, PPN: cfg.PPN,
 			Seed: cfg.BaseSeed + int64(run) + 1, OverheadScale: scale,
+			Fabric: cfg.Fabric,
 		}
 		body := func(c comm.Comm) error {
 			a, err := core.New(cfg.Algo, c, cfg.Block, opts)

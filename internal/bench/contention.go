@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"alltoallx/internal/artifact"
+	"alltoallx/internal/netmodel"
+	"alltoallx/internal/topo"
+)
+
+// The contention experiment asks the question the analytic cost model
+// cannot: once inter-node messages contend for the fabric's links
+// (the flow-level model, sim.ClusterConfig.Fabric), does the fastest
+// algorithm change? Topology-oblivious exchanges (pairwise, bruck) route
+// traffic across many shared links of a direct-connect fabric, while the
+// sched:* schedules were compiled for that topology and mostly talk to
+// neighbours — so as contention grows the ranking between them can flip
+// relative to the analytic prediction. Each cell measures every
+// algorithm twice (analytic vs flow) and records both winners; the
+// committed snapshot (BENCH_contention.json) pins where the flips are.
+
+// ContentionVersion is the emitted format version.
+const ContentionVersion = 1
+
+// Fixed methodology: a single seeded run per mode (the object is the
+// analytic-vs-flow delta, not run variance), a small power-of-two node
+// count so every fabric kind participates, and few ranks per node so the
+// wire — not the intra-node staging — dominates.
+const (
+	contentionPPN  = 4
+	contentionRuns = 1
+	contentionSeed = 1
+)
+
+// contentionBlocks spans the eager/rendezvous crossover into the
+// bandwidth-bound regime where link sharing binds. The 512 and 1024
+// points sit on the bruck/pairwise crossover, where bruck's long-haul
+// aggregated messages queue on ring links and the flow model flips the
+// winner (Dane at 512, Tuolomne at 1024).
+func contentionBlocks() []int { return []int{256, 512, 1024, 4096, 65536} }
+
+// contentionAlgos returns the compared family for a fabric kind: the two
+// topology-oblivious baselines and the schedule compiled for exactly
+// that topology.
+func contentionAlgos(fabric string) []string {
+	return []string{"pairwise", "bruck", "sched:" + fabric}
+}
+
+// ContentionPoint is one algorithm measured under both models.
+type ContentionPoint struct {
+	Algo string `json:"algo"`
+	// AnalyticSeconds is the plain cost-model time; FlowSeconds the time
+	// with per-link FIFO queueing and backpressure enabled.
+	AnalyticSeconds float64 `json:"analyticSeconds"`
+	FlowSeconds     float64 `json:"flowSeconds"`
+	// LinkBlockedSeconds / LinkQueuedSeconds / MaxLinkQueueBytes surface
+	// the flow run's congestion counters (sim.Stats).
+	LinkBlockedSeconds float64 `json:"linkBlockedSeconds"`
+	LinkQueuedSeconds  float64 `json:"linkQueuedSeconds"`
+	MaxLinkQueueBytes  int     `json:"maxLinkQueueBytes"`
+}
+
+// ContentionCell is one (fabric, block size) comparison.
+type ContentionCell struct {
+	Block  int               `json:"block"`
+	Points []ContentionPoint `json:"points"`
+	// AnalyticBest and FlowBest name the fastest algorithm under each
+	// model; Flip marks cells where modeled contention changes the choice.
+	AnalyticBest string `json:"analyticBest"`
+	FlowBest     string `json:"flowBest"`
+	Flip         bool   `json:"flip"`
+}
+
+// ContentionFabric is one fabric kind's sweep on one machine.
+type ContentionFabric struct {
+	Fabric string           `json:"fabric"`
+	Nodes  int              `json:"nodes"`
+	PPN    int              `json:"ppn"`
+	Cells  []ContentionCell `json:"cells"`
+}
+
+// ContentionMachine is one machine's complete sweep.
+type ContentionMachine struct {
+	Machine string             `json:"machine"`
+	Fabrics []ContentionFabric `json:"fabrics"`
+}
+
+// Contention is the full experiment artifact.
+type Contention struct {
+	Version int   `json:"version"`
+	Runs    int   `json:"runs"`
+	Seed    int64 `json:"seed"`
+	// MaxRanks records the world-size cap this run honoured.
+	MaxRanks int `json:"maxRanks"`
+	// Flips counts cells where the flow model changes the fastest
+	// algorithm — the experiment's headline number.
+	Flips    int                 `json:"flips"`
+	Machines []ContentionMachine `json:"machines"`
+}
+
+// contentionNodes picks the node count under a rank cap: the largest
+// power of two with at least contentionPPN ranks each, capped at 16 (the
+// sched:ring and sched:torus schedules stage Theta(p^2)+ blocks per rank,
+// so bigger worlds buy wall time, not signal).
+func contentionNodes(maxRanks int) int {
+	nodes := 16
+	for nodes > 2 && nodes*contentionPPN > maxRanks {
+		nodes /= 2
+	}
+	return nodes
+}
+
+// RunContention executes the contention sweep on every Table 1 machine.
+// maxRanks caps the world size (0 = the full 16-node world); progress,
+// if non-nil, receives one line per completed point.
+func RunContention(maxRanks int, progress func(string)) (*Contention, error) {
+	if maxRanks == 0 {
+		maxRanks = 16 * contentionPPN
+	}
+	nodes := contentionNodes(maxRanks)
+	if nodes*contentionPPN > maxRanks {
+		return nil, fmt.Errorf("bench: -maxranks %d below the smallest contention world (%d ranks)", maxRanks, nodes*contentionPPN)
+	}
+	out := &Contention{Version: ContentionVersion, Runs: contentionRuns, Seed: contentionSeed, MaxRanks: maxRanks}
+	for _, m := range netmodel.Machines() {
+		cm := ContentionMachine{Machine: m.Name}
+		for _, fabric := range topo.FabricKinds() {
+			cf := ContentionFabric{Fabric: fabric, Nodes: nodes, PPN: contentionPPN}
+			for _, block := range contentionBlocks() {
+				cell := ContentionCell{Block: block}
+				for _, algo := range contentionAlgos(fabric) {
+					pt := ContentionPoint{Algo: algo}
+					for _, mode := range []string{"", fabric} {
+						cfg := Config{
+							Machine: m, Nodes: nodes, PPN: contentionPPN,
+							Algo: algo, Block: block, Runs: contentionRuns,
+							BaseSeed: contentionSeed, Fabric: mode,
+						}
+						key := cfg.Key()
+						p, ok := cacheGet(key)
+						if !ok {
+							var err error
+							p, err = Measure(cfg)
+							if err != nil {
+								return nil, fmt.Errorf("bench: contention %s/%s/%s/%d: %w", m.Name, fabric, algo, block, err)
+							}
+							cachePut(key, p)
+						}
+						if mode == "" {
+							pt.AnalyticSeconds = p.Seconds
+						} else {
+							pt.FlowSeconds = p.Seconds
+							pt.LinkBlockedSeconds = p.Stats.LinkBlockedSeconds
+							pt.LinkQueuedSeconds = p.Stats.LinkQueuedSeconds
+							pt.MaxLinkQueueBytes = p.Stats.MaxLinkQueueBytes
+						}
+					}
+					cell.Points = append(cell.Points, pt)
+					if progress != nil {
+						progress(fmt.Sprintf("contention %s %s %s block=%d: analytic %.3e s, flow %.3e s (queued %.3e s, blocked %.3e s)",
+							m.Name, fabric, algo, block, pt.AnalyticSeconds, pt.FlowSeconds, pt.LinkQueuedSeconds, pt.LinkBlockedSeconds))
+					}
+				}
+				bestA, bestF := -1.0, -1.0
+				for _, p := range cell.Points {
+					if bestA < 0 || p.AnalyticSeconds < bestA {
+						bestA, cell.AnalyticBest = p.AnalyticSeconds, p.Algo
+					}
+					if bestF < 0 || p.FlowSeconds < bestF {
+						bestF, cell.FlowBest = p.FlowSeconds, p.Algo
+					}
+				}
+				cell.Flip = cell.AnalyticBest != cell.FlowBest
+				if cell.Flip {
+					out.Flips++
+				}
+				cf.Cells = append(cf.Cells, cell)
+			}
+			cm.Fabrics = append(cm.Fabrics, cf)
+		}
+		out.Machines = append(out.Machines, cm)
+	}
+	return out, nil
+}
+
+// Encode writes the artifact as indented JSON.
+func (c *Contention) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// Save writes the artifact to path atomically (internal/artifact).
+func (c *Contention) Save(path string) error {
+	return artifact.Save(path, "bench: saving contention sweep", c.Encode)
+}
+
+// Format prints the sweep as text tables, one fabric per machine block.
+func (c *Contention) Format(w io.Writer) error {
+	for _, m := range c.Machines {
+		for _, f := range m.Fabrics {
+			fmt.Fprintf(w, "contention — %s over %s fabric, %d nodes x %d ranks (seeded, %d run)\n",
+				m.Machine, f.Fabric, f.Nodes, f.PPN, c.Runs)
+			fmt.Fprintf(w, "%-8s %-18s %12s %12s %12s %s\n", "block", "algorithm", "analytic s", "flow s", "queued s", "")
+			for _, cell := range f.Cells {
+				for _, p := range cell.Points {
+					marks := ""
+					if p.Algo == cell.AnalyticBest {
+						marks += " <analytic-best"
+					}
+					if p.Algo == cell.FlowBest {
+						marks += " <flow-best"
+					}
+					if cell.Flip && (p.Algo == cell.AnalyticBest || p.Algo == cell.FlowBest) {
+						marks += " FLIP"
+					}
+					fmt.Fprintf(w, "%-8d %-18s %12.4e %12.4e %12.4e%s\n",
+						cell.Block, p.Algo, p.AnalyticSeconds, p.FlowSeconds, p.LinkQueuedSeconds, marks)
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintf(w, "flips (contention changes the fastest algorithm): %d\n", c.Flips)
+	return nil
+}

@@ -95,6 +95,20 @@ type Params struct {
 	// (incast/interleaving inefficiency; zero disables it).
 	InterleavePenalty float64
 
+	// FabricLinkBW is the per-direction bandwidth (bytes/s) of one
+	// direct-connect fabric link when the flow-level contention model is
+	// enabled (sim.ClusterConfig.Fabric). The analytic model charges only
+	// the NIC ports for inter-node traffic; the flow level additionally
+	// books each message onto every fabric link its route traverses, so
+	// two schedules with equal message counts but different per-link load
+	// become distinguishable. Zero disables the flow level for this
+	// machine (a run requesting a fabric then fails fast).
+	FabricLinkBW float64
+	// FabricQueueBytes is the per-link queue depth in bytes: bytes of
+	// in-flight traffic a link buffers before backpressure holds the next
+	// message upstream (blocked time in the congestion statistics).
+	FabricQueueBytes int
+
 	// EagerMax is the eager/rendezvous protocol threshold in bytes.
 	EagerMax int
 
@@ -146,6 +160,15 @@ func (p *Params) Validate() error {
 	if p.MatchCost < 0 || p.NICMsgCost < 0 || p.BusMsgCost < 0 || p.InterleavePenalty < 0 {
 		return fmt.Errorf("netmodel: negative per-message cost in %q", p.Name)
 	}
+	if p.FabricLinkBW < 0 {
+		return fmt.Errorf("netmodel: FabricLinkBW must be non-negative in %q, got %g", p.Name, p.FabricLinkBW)
+	}
+	if p.FabricQueueBytes < 0 {
+		return fmt.Errorf("netmodel: FabricQueueBytes must be non-negative in %q, got %d", p.Name, p.FabricQueueBytes)
+	}
+	if p.FabricLinkBW > 0 && p.FabricQueueBytes == 0 {
+		return fmt.Errorf("netmodel: FabricLinkBW set without FabricQueueBytes in %q (a zero-depth link would backpressure every message)", p.Name)
+	}
 	if p.EagerMax < 0 {
 		return fmt.Errorf("netmodel: EagerMax must be non-negative in %q", p.Name)
 	}
@@ -185,6 +208,8 @@ func Dane() Params {
 		NICMsgCost:        2.6e-7,
 		BusMsgCost:        2.0e-8,
 		InterleavePenalty: 0.9,
+		FabricLinkBW:      1.25e10, // links match injection bandwidth
+		FabricQueueBytes:  1 << 20,
 		EagerMax:          65536, // PSM2-like rendezvous threshold
 		NoiseSigma:        0.04,
 		SpikeProb:         2.0e-5,
@@ -237,6 +262,8 @@ func Tuolomne() Params {
 		NICMsgCost:        4.0e-8,
 		BusMsgCost:        1.5e-8,
 		InterleavePenalty: 0.25,
+		FabricLinkBW:      2.5e10, // 200 Gb/s links, matching injection
+		FabricQueueBytes:  2 << 20,
 		EagerMax:          16384, // Slingshot/Cassini-like rendezvous threshold
 		NoiseSigma:        0.04,
 		SpikeProb:         1.5e-5,

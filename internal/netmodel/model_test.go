@@ -87,6 +87,9 @@ func TestValidateCatchesBadParams(t *testing.T) {
 		func(p *Params) { p.SpikeProb = 1.5 },
 		func(p *Params) { p.Sys.OverheadScale = 0 },
 		func(p *Params) { p.Node = topo.Spec{} },
+		func(p *Params) { p.FabricLinkBW = -1 },
+		func(p *Params) { p.FabricQueueBytes = -1 },
+		func(p *Params) { p.FabricQueueBytes = 0 }, // zero depth with a link rate set backpressures everything
 	}
 	for i, f := range mut {
 		m := Dane()
@@ -94,6 +97,33 @@ func TestValidateCatchesBadParams(t *testing.T) {
 		if err := m.Validate(); err == nil {
 			t.Errorf("mutation %d accepted", i)
 		}
+	}
+}
+
+// TestFabricLinkParams pins the flow-level contention knobs: every
+// Table 1 machine carries a usable per-link bandwidth and queue depth
+// (so any preset can run under sim.ClusterConfig.Fabric), and a model
+// with the flow level disabled (both zero) still validates.
+func TestFabricLinkParams(t *testing.T) {
+	t.Parallel()
+	for _, m := range Machines() {
+		if m.FabricLinkBW <= 0 {
+			t.Errorf("%s: FabricLinkBW = %g, want positive", m.Name, m.FabricLinkBW)
+		}
+		if m.FabricQueueBytes <= 0 {
+			t.Errorf("%s: FabricQueueBytes = %d, want positive", m.Name, m.FabricQueueBytes)
+		}
+		// Links at least match injection bandwidth: the NIC stays the
+		// uncontended bottleneck, so the flow level is a strict refinement
+		// (it only ever adds queueing, never uncontended serialization).
+		if m.FabricLinkBW < m.NICBW {
+			t.Errorf("%s: FabricLinkBW %g below NICBW %g", m.Name, m.FabricLinkBW, m.NICBW)
+		}
+	}
+	off := Dane()
+	off.FabricLinkBW, off.FabricQueueBytes = 0, 0
+	if err := off.Validate(); err != nil {
+		t.Errorf("flow-level-disabled model rejected: %v", err)
 	}
 }
 

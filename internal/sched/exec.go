@@ -31,7 +31,12 @@ type Exec struct {
 	s       *Schedule    // whole-world form (nil for rank executors)
 	rp      *RankProgram // pre-sliced form, or the lazy slice of s
 	scratch []comm.Buffer
+	load    *LoadRecord // optional per-round traffic recording
 }
+
+// SetLoadRecord attaches a (typically shared) LoadRecord; every send the
+// executor issues is then recorded per round. Pass nil to stop recording.
+func (e *Exec) SetLoadRecord(l *LoadRecord) { e.load = l }
 
 // NewExec returns an executor for a verified whole-world schedule; the
 // running rank's slice is taken at Run time.
@@ -140,6 +145,9 @@ func (e *Exec) Run(c comm.Comm, send, recv comm.Buffer, block int, rec *trace.Re
 					return fmt.Errorf("sched: %s round %d send to %d: %w", rp.Name, ri, st.To, err)
 				}
 				reqs = append(reqs, rq)
+				if e.load != nil {
+					e.load.Add(ri, rp.Rank, st.To, st.Src.N)
+				}
 			case Recv:
 				// Posted above.
 			default:

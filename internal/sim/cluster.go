@@ -21,6 +21,17 @@ type ClusterConfig struct {
 	// OverheadScale scales software overheads (system-MPI vendor profile);
 	// zero means 1.0.
 	OverheadScale float64
+	// Fabric, when non-empty, names a topo.Fabric kind ("ring", "torus",
+	// "hypercube") and enables the flow-level contention model: every
+	// inter-node message is booked onto the per-link FIFO queues of that
+	// fabric over the job's nodes. Requires the model's FabricLinkBW /
+	// FabricQueueBytes; empty runs the analytic model alone.
+	Fabric string
+
+	// debugReserve, when non-nil, observes every resource reservation
+	// (tests and calibration diagnostics; per-run so parallel tests don't
+	// race on a shared hook).
+	debugReserve reserveHook
 }
 
 // Stats summarizes a finished simulation.
@@ -31,6 +42,12 @@ type Stats struct {
 	Messages uint64
 	// VirtualSeconds is the final global virtual time.
 	VirtualSeconds float64
+	// LinkBlockedSeconds and LinkQueuedSeconds sum backpressure and FIFO
+	// waits over all fabric links (zero without ClusterConfig.Fabric).
+	LinkBlockedSeconds float64
+	LinkQueuedSeconds  float64
+	// MaxLinkQueueBytes is the deepest any fabric link's queue got.
+	MaxLinkQueueBytes int
 }
 
 // cluster is the shared state of one simulated job.
@@ -48,6 +65,14 @@ type cluster struct {
 // statistics and the joined error of failing ranks (or a deadlock
 // diagnosis).
 func RunCluster(cfg ClusterConfig, body func(c comm.Comm) error) (Stats, error) {
+	return RunClusterDebug(cfg, body, nil)
+}
+
+// RunClusterDebug is RunCluster with a post-run hook receiving the network
+// (NIC port report, flow-level report) and final virtual time (diagnostics
+// for model calibration). The hook runs before the flow report is folded
+// into Stats, so it sees the links' live queues.
+func RunClusterDebug(cfg ClusterConfig, body func(c comm.Comm) error, report func(net *Network, final float64)) (Stats, error) {
 	if cfg.PPN <= 0 || cfg.Nodes <= 0 {
 		return Stats{}, fmt.Errorf("sim: invalid cluster shape %d nodes x %d ppn", cfg.Nodes, cfg.PPN)
 	}
@@ -60,10 +85,11 @@ func RunCluster(cfg ClusterConfig, body func(c comm.Comm) error) (Stats, error) 
 		scale = 1.0
 	}
 	e := NewEngine()
-	net, err := NewNetwork(e, cfg.Model, mapping, cfg.Seed, scale)
+	net, err := NewNetwork(e, cfg.Model, mapping, cfg.Seed, scale, cfg.Fabric)
 	if err != nil {
 		return Stats{}, err
 	}
+	net.debugReserve = cfg.debugReserve
 	cl := &cluster{
 		e:       e,
 		net:     net,
@@ -89,50 +115,14 @@ func RunCluster(cfg ClusterConfig, body func(c comm.Comm) error) (Stats, error) 
 		c.p = cl.procs[rank] // available immediately for Split result construction
 	}
 	runErr := e.Run()
-	st := Stats{Events: e.EventsProcessed(), Messages: net.MessagesSent(), VirtualSeconds: e.Now()}
-	return st, runErr
-}
-
-// RunClusterDebug is RunCluster with a post-run hook receiving the NIC
-// port report and final virtual time (diagnostics for model calibration).
-func RunClusterDebug(cfg ClusterConfig, body func(c comm.Comm) error, report func(net *Network, final float64)) (Stats, error) {
-	if cfg.PPN <= 0 || cfg.Nodes <= 0 {
-		return Stats{}, fmt.Errorf("sim: invalid cluster shape %d nodes x %d ppn", cfg.Nodes, cfg.PPN)
-	}
-	mapping, err := topo.NewMapping(cfg.Model.Node, cfg.Nodes, cfg.PPN)
-	if err != nil {
-		return Stats{}, err
-	}
-	scale := cfg.OverheadScale
-	if scale == 0 {
-		scale = 1.0
-	}
-	e := NewEngine()
-	net, err := NewNetwork(e, cfg.Model, mapping, cfg.Seed, scale)
-	if err != nil {
-		return Stats{}, err
-	}
-	cl := &cluster{e: e, net: net, mapping: mapping, splits: make(map[splitKey]*splitGather), nextCtx: 1}
-	n := mapping.Size()
-	worldRanks := make([]int, n)
-	for i := range worldRanks {
-		worldRanks[i] = i
-	}
-	cl.procs = make([]*Proc, n)
-	worldID := cl.nextCtx
-	cl.nextCtx++
-	for r := 0; r < n; r++ {
-		rank := r
-		c := &SimComm{cl: cl, id: worldID, rank: rank, ranks: worldRanks, isWorld: true}
-		cl.procs[rank] = e.Spawn(rank, func(p *Proc) error {
-			c.p = p
-			return body(c)
-		})
-		c.p = cl.procs[rank]
-	}
-	runErr := e.Run()
 	if report != nil {
 		report(net, e.Now())
 	}
-	return Stats{Events: e.EventsProcessed(), Messages: net.MessagesSent(), VirtualSeconds: e.Now()}, runErr
+	st := Stats{Events: e.EventsProcessed(), Messages: net.MessagesSent(), VirtualSeconds: e.Now()}
+	if fr := net.FlowReport(); fr != nil {
+		st.LinkBlockedSeconds = fr.TotalBlockedSeconds
+		st.LinkQueuedSeconds = fr.TotalQueuedSeconds
+		st.MaxLinkQueueBytes = fr.MaxQueueBytes
+	}
+	return st, runErr
 }

@@ -12,17 +12,19 @@ import (
 // TestDebugPortGaps is a diagnostic, not a regression test. Run with
 // -run TestDebugPortGaps -v.
 func TestDebugPortGaps(t *testing.T) {
+	t.Parallel()
 	if os.Getenv("A2A_DEBUG_PORTS") == "" {
 		t.Skip("diagnostic; set A2A_DEBUG_PORTS=1")
 	}
 	m := netmodel.Dane()
 	type book struct{ ready, start, dur float64 }
 	perRes := make(map[*resource][]book)
-	debugReserveHook = func(r *resource, ready, start, dur float64) {
+	cfg := ClusterConfig{Model: m, Nodes: 8, PPN: 28, Seed: 1}
+	// The hook is per-run state (carried on the config, not a package
+	// global), so this test can run alongside the rest of the suite.
+	cfg.debugReserve = func(r *resource, ready, start, dur float64) {
 		perRes[r] = append(perRes[r], book{ready, start, dur})
 	}
-	defer func() { debugReserveHook = nil }()
-	cfg := ClusterConfig{Model: m, Nodes: 8, PPN: 28, Seed: 1}
 	const block = 16384
 	_, err := RunClusterDebug(cfg, func(c comm.Comm) error {
 		n, r := c.Size(), c.Rank()

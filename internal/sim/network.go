@@ -21,19 +21,20 @@ type resource struct {
 	busy     float64
 }
 
-// debugReserveHook, when non-nil, observes every reservation (testing and
-// model-calibration diagnostics only).
-var debugReserveHook func(r *resource, ready, start, dur float64)
+// reserveHook observes every reservation (testing and model-calibration
+// diagnostics only). It is carried per Network (ClusterConfig.debugReserve)
+// rather than as a package global so parallel tests don't race on it.
+type reserveHook func(r *resource, ready, start, dur float64)
 
 // reserve books the resource for a transfer of the given duration starting
 // no earlier than ready, and returns the finish time.
-func (r *resource) reserve(ready, dur float64) float64 {
+func (r *resource) reserve(ready, dur float64, hook reserveHook) float64 {
 	start := ready
 	if r.nextFree > start {
 		start = r.nextFree
 	}
-	if debugReserveHook != nil {
-		debugReserveHook(r, ready, start, dur)
+	if hook != nil {
+		hook(r, ready, start, dur)
 	}
 	r.nextFree = start + dur
 	r.busy += dur
@@ -52,6 +53,7 @@ type hop struct {
 	perMsg     float64
 	interleave float64 // fractional duration penalty when senders interleave
 	dedicated  bool
+	link       *flowLink // fabric link stage (flow-level contention model)
 }
 
 // Network simulates the cluster fabric: topology-aware paths over shared
@@ -72,14 +74,23 @@ type Network struct {
 
 	boxes []simMailbox // [world rank]
 
+	// flow is the optional flow-level contention model (per-link FIFO
+	// queues over a topo.Fabric); nil runs the analytic model alone.
+	flow *flowState
+
+	debugReserve reserveHook
+
 	rng      *rand.Rand
 	msgsSent uint64
 }
 
 // NewNetwork builds the fabric for a mapping under the given model. seed
 // fixes the noise stream; overheadScale scales software overheads (used by
-// the system-MPI vendor profile; pass 1 otherwise).
-func NewNetwork(e *Engine, p netmodel.Params, mapping *topo.Mapping, seed int64, overheadScale float64) (*Network, error) {
+// the system-MPI vendor profile; pass 1 otherwise). fabric, when non-empty,
+// names a topo.Fabric kind and enables the flow-level contention model
+// over the mapping's nodes; it errors when the model carries no
+// FabricLinkBW.
+func NewNetwork(e *Engine, p netmodel.Params, mapping *topo.Mapping, seed int64, overheadScale float64, fabric string) (*Network, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -91,6 +102,13 @@ func NewNetwork(e *Engine, p netmodel.Params, mapping *topo.Mapping, seed int64,
 		rng: rand.New(rand.NewSource(seed)),
 	}
 	nodes := mapping.Nodes()
+	if fabric != "" {
+		fs, err := newFlowState(fabric, nodes, p.FabricLinkBW, p.FabricQueueBytes)
+		if err != nil {
+			return nil, err
+		}
+		n.flow = fs
+	}
 	n.numaBus = make([][]resource, nodes)
 	for i := range n.numaBus {
 		n.numaBus[i] = make([]resource, p.Node.NumaPerNode())
@@ -189,10 +207,18 @@ func (n *Network) path(src, dst int, hops []hop) ([]hop, topo.Level) {
 	case topo.InterNode:
 		// The NIC ports are the binding inter-node resources (the memory
 		// buses are 2-3x faster and never bind for wire traffic), so the
-		// path is just the two ports.
+		// analytic path is just the two ports. With a fabric configured,
+		// the route's links sit between them as cut-through stages: free
+		// when idle, a queueing delay when shared (see flow.go).
 		nicMsg := n.p.NICMsgCost * n.scale
 		hops = append(hops,
-			hop{res: &n.nicOut[sNode], rate: n.p.NICBW, perMsg: nicMsg, interleave: n.p.InterleavePenalty},
+			hop{res: &n.nicOut[sNode], rate: n.p.NICBW, perMsg: nicMsg, interleave: n.p.InterleavePenalty})
+		if n.flow != nil {
+			for _, id := range n.flow.routeLinks(sNode, dNode) {
+				hops = append(hops, hop{link: &n.flow.links[id]})
+			}
+		}
+		hops = append(hops,
 			hop{res: &n.nicIn[dNode], rate: n.p.NICBW, perMsg: nicMsg, interleave: n.p.InterleavePenalty})
 	}
 	return hops, level
@@ -210,8 +236,9 @@ func (n *Network) path(src, dst int, hops []hop) ([]hop, topo.Level) {
 // onSendDone, if non-nil, fires when the first (source-side) stage is
 // clear — the rendezvous sender's buffer lifetime. onArrival fires when
 // the payload has fully arrived (last stage plus wire latency). src
-// identifies the sender for the NIC interleaving penalty.
-func (n *Network) transfer(ready float64, bytes, src int, hops []hop, level topo.Level,
+// identifies the sender for the NIC interleaving penalty; tag attributes
+// fabric-link congestion to the message's round (sched executor tagging).
+func (n *Network) transfer(ready float64, bytes, src, tag int, hops []hop, level topo.Level,
 	onSendDone, onArrival func(t float64)) {
 	n.msgsSent++
 	lat := n.p.Latency(level)
@@ -223,6 +250,21 @@ func (n *Network) transfer(ready float64, bytes, src int, hops []hop, level topo
 	var step func(i int, t float64)
 	step = func(i int, t float64) {
 		h := hops[i]
+		if h.link != nil {
+			// Cut-through fabric link: the head moves on the moment the
+			// link starts serving it (zero added time when uncontended —
+			// the NIC ports stay the serialization points), while the
+			// link stays occupied for the payload's full serialization,
+			// which is what queues and backpressures later flows.
+			start, blocked, queued := h.link.admit(t, bytes)
+			n.flow.note(tag, bytes, blocked, queued)
+			if start > t {
+				n.e.At(start, func() { step(i+1, start) })
+			} else {
+				step(i+1, t)
+			}
+			return
+		}
 		dur := h.perMsg
 		if bytes > 0 {
 			d := float64(bytes) / h.rate
@@ -232,7 +274,7 @@ func (n *Network) transfer(ready float64, bytes, src int, hops []hop, level topo
 			dur += d
 		}
 		h.res.lastUser = srcNode
-		finish := h.res.reserve(t, dur)
+		finish := h.res.reserve(t, dur, n.debugReserve)
 		if i == 0 && onSendDone != nil {
 			onSendDone(finish)
 		}
@@ -353,7 +395,7 @@ func (n *Network) isend(p *Proc, srcW, dstW int, ctx int64, srcRank, tag int, b 
 		length := b.Len()
 		hops, level := n.path(srcW, dstW, nil)
 		n.determine(req, p.now+n.copyTime(length), nil)
-		n.transfer(p.now, length, srcW, hops, level, nil, func(arrival float64) {
+		n.transfer(p.now, length, srcW, tag, hops, level, nil, func(arrival float64) {
 			n.deliverEager(dstW, env, length, payload, arrival)
 		})
 		return req
@@ -471,7 +513,7 @@ func (n *Network) beginRendezvous(msg simMsg, post simPosted) {
 	}
 	n.e.At(tStart, func() {
 		hops, lvl := n.path(msg.srcWorld, msg.dstWorld, nil)
-		n.transfer(tStart, msg.bytes, msg.srcWorld, hops, lvl,
+		n.transfer(tStart, msg.bytes, msg.srcWorld, msg.env.tag, hops, lvl,
 			func(sendDone float64) { n.determine(msg.sendReq, sendDone, nil) },
 			func(arrival float64) {
 				if !msg.sendBuf.IsVirtual() && !post.buf.IsVirtual() && msg.bytes > 0 {

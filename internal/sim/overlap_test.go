@@ -11,6 +11,7 @@ import (
 // TestComputeChargesVirtualTime: with no started operation in flight,
 // Compute is exactly a local clock advance.
 func TestComputeChargesVirtualTime(t *testing.T) {
+	t.Parallel()
 	cfg := ClusterConfig{Model: netmodel.Dane(), Nodes: 1, PPN: 2, Seed: 1}
 	_, err := RunCluster(cfg, func(c comm.Comm) error {
 		t0 := c.Now()
@@ -35,6 +36,7 @@ func TestComputeChargesVirtualTime(t *testing.T) {
 // compute — the overlap model at work — while never undercutting the
 // exchange itself.
 func TestOverlapHidesComputeBehindStart(t *testing.T) {
+	t.Parallel()
 	const (
 		nodes = 2
 		ppn   = 4
@@ -118,6 +120,7 @@ func TestOverlapHidesComputeBehindStart(t *testing.T) {
 // TestOverlapBudgetWithdrawnAtWait: compute issued after the handle is
 // waited pays full price — the budget dies with the handle.
 func TestOverlapBudgetWithdrawnAtWait(t *testing.T) {
+	t.Parallel()
 	const block = 4096
 	cfg := ClusterConfig{Model: netmodel.Dane(), Nodes: 2, PPN: 2, Seed: 3}
 	_, err := RunCluster(cfg, func(c comm.Comm) error {
