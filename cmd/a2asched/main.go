@@ -22,6 +22,15 @@
 // materializing the whole world — the large-world form the runtime uses
 // past the slicing threshold. It is locally verified; -world additionally
 // streams every rank's slice through the incremental cross-rank verifier.
+//
+// fetch resolves a rank program through the schedule service instead of
+// compiling locally:
+//
+//	a2asched fetch -daemon 127.0.0.1:7643 -name torus -nodes 4 -ppn 8 -rank 3
+//	a2asched fetch -root /var/lib/a2asched -name ring -ranks 16 -rank 0 -o r0.json
+//
+// and list inspects the service: -root walks a registry directory,
+// -daemon queries a running a2aschedd's counters.
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 	"strings"
 
 	"alltoallx/internal/sched"
+	"alltoallx/internal/schedreg"
 	"alltoallx/internal/topo"
 )
 
@@ -42,11 +52,13 @@ func main() {
 	var err error
 	switch os.Args[1] {
 	case "list":
-		err = runList()
+		err = runList(os.Args[2:])
 	case "gen":
 		err = runGen(os.Args[2:])
 	case "slice":
 		err = runSlice(os.Args[2:])
+	case "fetch":
+		err = runFetch(os.Args[2:])
 	case "verify":
 		err = runVerify(os.Args[2:])
 	case "print":
@@ -72,10 +84,14 @@ func usage() {
 
 commands:
   list                      list schedule generators
+         [-root DIR]        instead: list a registry directory's worlds + counters
+         [-daemon ADDR]     instead: query a running a2aschedd's counters
   gen    -name G -ranks N   generate + verify a schedule (JSON to -o or stdout)
          [-nodes N -ppn P]  give the generator a topology (torus grid); implies -ranks
   slice  -name G -ranks N   compile + verify ONE rank's program (rank-sliced, O(slice)
          -rank R [-world]   memory; -world also streams the cross-rank verification)
+  fetch  -name G -ranks N   resolve one rank's program through the schedule service
+         -rank R            (-daemon ADDR or -root DIR), re-verify locally, emit JSON
   verify <file>             statically verify a schedule artifact
   print  [-linkload [-fabric K]] <file>
                             stats and per-round message matrices; -linkload
@@ -85,10 +101,104 @@ commands:
 `)
 }
 
-func runList() error {
+func runList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	var (
+		root   = fs.String("root", "", "list the worlds of this registry directory instead of the generators")
+		daemon = fs.String("daemon", "", "query this a2aschedd's registry counters instead of the generators")
+	)
+	fs.Parse(args)
+	if *root != "" && *daemon != "" {
+		return fmt.Errorf("-root and -daemon are mutually exclusive")
+	}
+	switch {
+	case *root != "":
+		reg, err := schedreg.Open(*root)
+		if err != nil {
+			return err
+		}
+		entries, err := reg.List()
+		if err != nil {
+			return err
+		}
+		if len(entries) == 0 {
+			fmt.Printf("registry %s is empty\n", reg.Root())
+			return nil
+		}
+		fmt.Printf("%-12s %-16s %-9s %9s %12s\n", "generator", "world", "state", "programs", "bytes")
+		for _, e := range entries {
+			state := "verified"
+			if e.Rejected {
+				state = "rejected"
+			}
+			fmt.Printf("%-12s %-16s %-9s %9d %12d\n", e.Gen, e.World, state, e.Programs, e.Bytes)
+		}
+		return nil
+	case *daemon != "":
+		cl := schedreg.NewClient(*daemon)
+		st, err := cl.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("daemon %s: %d hits, %d misses, %d negative hits, %d compiles\n",
+			*daemon, st.Hits, st.Misses, st.NegativeHits, st.Compiles)
+		return nil
+	}
 	for _, g := range sched.Generators() {
 		fmt.Println(g)
 	}
+	return nil
+}
+
+// runFetch resolves one rank's program through the schedule service —
+// a running daemon (-daemon) or a registry directory opened in-process
+// (-root) — and re-verifies it locally before emitting, exactly as the
+// runtime's fetcher hook does. This is the CI smoke path: daemon up,
+// fetch, verify, shut down.
+func runFetch(args []string) error {
+	fs := flag.NewFlagSet("fetch", flag.ExitOnError)
+	var (
+		name   = fs.String("name", "ring", "generator name (see a2asched list)")
+		ranks  = fs.Int("ranks", 0, "world size in ranks (or use -nodes and -ppn)")
+		nodes  = fs.Int("nodes", 0, "node count (with -ppn: shapes topology-aware generators)")
+		ppn    = fs.Int("ppn", 0, "ranks per node")
+		rank   = fs.Int("rank", 0, "the rank whose program to fetch")
+		daemon = fs.String("daemon", "", "a2aschedd address (e.g. 127.0.0.1:7643)")
+		root   = fs.String("root", "", "registry directory to resolve from without a daemon")
+		out    = fs.String("o", "", "write the rank program JSON to this path (default stdout)")
+	)
+	fs.Parse(args)
+	if (*daemon == "") == (*root == "") {
+		return fmt.Errorf("fetch needs exactly one of -daemon or -root")
+	}
+	p, m, err := parseWorld(*ranks, *nodes, *ppn)
+	if err != nil {
+		return err
+	}
+	var rp *sched.RankProgram
+	if *daemon != "" {
+		rp, err = schedreg.NewClient(*daemon).Fetch(*name, p, m, *rank)
+	} else {
+		var reg *schedreg.Registry
+		if reg, err = schedreg.Open(*root); err == nil {
+			rp, err = reg.GetOrCompile(schedreg.KeyFor(*name, p, m, *rank))
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if err := sched.VerifyRank(rp); err != nil {
+		return fmt.Errorf("fetched program fails verification: %w", err)
+	}
+	if *out == "" {
+		return rp.Encode(os.Stdout)
+	}
+	if err := rp.Save(*out); err != nil {
+		return err
+	}
+	st := rp.Stats()
+	fmt.Printf("fetched %s: rank %d of %q at %d ranks — %d rounds, %d sends, %d wire blocks (verified)\n",
+		*out, rp.Rank, rp.Name, rp.Ranks, st.Rounds, st.Messages, st.WireBlocks)
 	return nil
 }
 
@@ -205,9 +315,21 @@ func runVerify(args []string) error {
 	if err != nil {
 		return err
 	}
-	s, err := sched.Load(path)
-	if err != nil {
-		return err
+	s, serr := sched.Load(path)
+	if serr != nil {
+		// Not a whole-world schedule; rank-program artifacts (slice -o,
+		// fetch -o) get the local single-rank check instead.
+		rp, rerr := sched.LoadRank(path)
+		if rerr != nil {
+			return serr
+		}
+		if err := sched.VerifyRank(rp); err != nil {
+			return fmt.Errorf("%s: FAIL: %w", path, err)
+		}
+		st := rp.Stats()
+		fmt.Printf("%s: OK — rank %d of %q at %d ranks passes local verification (%d rounds, %d sends, %d wire blocks)\n",
+			path, rp.Rank, rp.Name, rp.Ranks, st.Rounds, st.Messages, st.WireBlocks)
+		return nil
 	}
 	if err := sched.Verify(s); err != nil {
 		return fmt.Errorf("%s: FAIL: %w", path, err)

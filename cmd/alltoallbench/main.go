@@ -31,11 +31,12 @@ import (
 	"alltoallx/internal/bench"
 	"alltoallx/internal/core"
 	"alltoallx/internal/netmodel"
+	"alltoallx/internal/schedreg"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment ID (fig7..fig18, table1, headline, overlap, regress, scale, contention) or 'all'")
+		experiment = flag.String("experiment", "all", "experiment ID (fig7..fig18, table1, headline, overlap, regress, scale, contention, repair) or 'all'")
 		scaleName  = flag.String("scale", "quick", "reproduction scale: quick or full")
 		nodes      = flag.Int("nodes", 0, "override node count (0 = experiment default)")
 		ppn        = flag.Int("ppn", 0, "override ranks per node (0 = scale default)")
@@ -55,11 +56,16 @@ func main() {
 		blockSize = flag.Int("block", 4096,
 			"with -experiment overlap: block bytes per rank pair")
 		jsonPath = flag.String("json", "",
-			"with -experiment regress, scale or contention: write the machine-readable baseline (BENCH_regress.json / BENCH_scale.json / BENCH_contention.json) to this path")
+			"with -experiment regress, scale, contention or repair: write the machine-readable output (BENCH_regress.json / BENCH_scale.json / BENCH_contention.json; repair has no committed snapshot) to this path")
 		maxRanks = flag.Int("maxranks", 0,
-			"with -experiment scale or contention: cap the swept world size (0 = the experiment's full sweep; CI smoke uses 256)")
+			"with -experiment scale, contention or repair: cap the swept world size (0 = the experiment's full sweep; CI smoke uses 256)")
+		schedRoot = flag.String("schedreg", "", "schedule-registry directory: resolve sched:* programs through it (compile-once across processes)")
+		schedd    = flag.String("schedd", "", "a2aschedd address: resolve sched:* programs through the daemon")
 	)
 	flag.Parse()
+	if err := installSchedFetcher(*schedRoot, *schedd); err != nil {
+		fatal(err)
+	}
 
 	scale, err := scaleByName(*scaleName)
 	if err != nil {
@@ -106,6 +112,21 @@ func main() {
 		}
 		return
 	}
+	if *experiment == "repair" {
+		if *tablePath != "" {
+			fatal(fmt.Errorf("-experiment repair and -table are mutually exclusive"))
+		}
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "op", "algo", "scale", "nodes", "ppn", "runs", "machine", "computefrac", "block":
+				fatal(fmt.Errorf("-%s does not apply to -experiment repair (the repaired worlds and dead ranks are fixed so runs stay comparable)", f.Name))
+			}
+		})
+		if err := runRepair(*maxRanks, *jsonPath, progress); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *experiment == "contention" {
 		if *tablePath != "" {
 			fatal(fmt.Errorf("-experiment contention and -table are mutually exclusive"))
@@ -124,9 +145,9 @@ func main() {
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "json":
-			fatal(fmt.Errorf("-json only applies with -experiment regress, scale or contention"))
+			fatal(fmt.Errorf("-json only applies with -experiment regress, scale, contention or repair"))
 		case "maxranks":
-			fatal(fmt.Errorf("-maxranks only applies with -experiment scale or contention"))
+			fatal(fmt.Errorf("-maxranks only applies with -experiment scale, contention or repair"))
 		}
 	})
 
@@ -359,6 +380,48 @@ func runContention(maxRanks int, jsonPath string, progress func(string)) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
+	return nil
+}
+
+// runRepair executes the failure-repair comparison (repair + re-verify
+// versus recompiling the full world after one injected rank failure)
+// and optionally persists the machine-readable output. No snapshot is
+// committed: the point measurements are wall-clock.
+func runRepair(maxRanks int, jsonPath string, progress func(string)) error {
+	r, err := bench.RunRepair(maxRanks, progress)
+	if err != nil {
+		return err
+	}
+	if err := r.Format(os.Stdout); err != nil {
+		return err
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	if err := r.Save(jsonPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
+	return nil
+}
+
+// installSchedFetcher points core's sched:* construction at the
+// schedule service: a registry directory opened in-process, or a
+// running a2aschedd. Rejections negative-cache; outages fall back to
+// local compilation.
+func installSchedFetcher(root, daemon string) error {
+	switch {
+	case root != "" && daemon != "":
+		return fmt.Errorf("-schedreg and -schedd are mutually exclusive")
+	case root != "":
+		reg, err := schedreg.Open(root)
+		if err != nil {
+			return err
+		}
+		core.SetSchedFetcher(schedreg.RegistryFetcher(reg))
+	case daemon != "":
+		core.SetSchedFetcher(schedreg.ClientFetcher(schedreg.NewClient(daemon)))
+	}
 	return nil
 }
 

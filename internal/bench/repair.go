@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"alltoallx/internal/artifact"
+	"alltoallx/internal/sched"
+)
+
+// The repair experiment quantifies the failure-repair story: after one
+// rank of a compiled schedule world dies, sched.Repair patches the
+// surviving fabric around the hole and re-proves the result, versus the
+// baseline of recompiling the whole world from scratch (regenerating
+// every rank's slice and streaming it through the verifier — the
+// runtime's large-world compilation path, which is also the only honest
+// baseline: a shrunken world does not exist for shape-bound generators,
+// a 32x32 torus has no 1023-rank form and a hypercube no non-power-of-
+// two form at all). Both sides pay a full O(schedule) re-verification;
+// the saving is route work, which repair confines to the ranks whose
+// traffic crossed the dead rank — a thin neighborhood of the failure.
+//
+// The point timings are wall-clock, so no snapshot is committed (unlike
+// BENCH_scale.json); the structural columns (rescheduled ranks, dropped
+// and rerouted blocks, rounds) are deterministic.
+
+// RepairVersion is the emitted format version.
+const RepairVersion = 1
+
+// repairPoints is the fixed sweep: each route-compiled generator family
+// at world sizes its schedule volume keeps tractable (the ring moves
+// Theta(p^3) staged blocks and stops first). The 1024-rank torus point
+// is the headline: one dead rank reroutes a row-and-column neighborhood
+// of ~2 sqrt(p) ranks out of 1024. The ring has no such locality — its
+// detour is the complementary arc, which sweeps nearly every rank — so
+// its saving is route-computation volume, not rank count.
+func repairPoints() []struct {
+	Gen   string
+	Ranks int
+} {
+	return []struct {
+		Gen   string
+		Ranks int
+	}{
+		{"ring", 64},
+		{"ring", 256},
+		{"torus", 64},
+		{"torus", 256},
+		{"torus", 1024},
+		{"hypercube", 64},
+		{"hypercube", 256},
+		{"hypercube", 1024},
+	}
+}
+
+// repairDead picks the injected failure deterministically: an interior
+// rank, so torus detours exercise both row and column dodges.
+func repairDead(p int) int { return p/2 + 1 }
+
+// RepairPoint is one (generator, world size) repair-vs-recompile
+// measurement.
+type RepairPoint struct {
+	Gen   string `json:"gen"`
+	Ranks int    `json:"ranks"`
+	Dead  int    `json:"dead"`
+	// Survivors is Ranks-1; Rescheduled the ranks whose programs needed
+	// route work (every other survivor is a mechanical filter of the
+	// original schedule). Rescheduled < Survivors is the saving.
+	Survivors   int `json:"survivors"`
+	Rescheduled int `json:"rescheduled"`
+	// DroppedBlocks left with the dead rank; ReroutedBlocks were
+	// detoured around it on the surviving fabric.
+	DroppedBlocks  int `json:"droppedBlocks"`
+	ReroutedBlocks int `json:"reroutedBlocks"`
+	// Rounds after repair vs the original schedule (equal unless the
+	// longest detour outgrew the round count).
+	Rounds     int `json:"rounds"`
+	BaseRounds int `json:"baseRounds"`
+	// RepairSeconds times Repair + full dead-aware re-verification;
+	// RecompileSeconds times the baseline (regenerate every slice +
+	// streamed verification). Wall-clock — indicative, not snapshotted.
+	RepairSeconds    float64 `json:"repairSeconds"`
+	RecompileSeconds float64 `json:"recompileSeconds"`
+}
+
+// Repairs is the full repair-experiment artifact.
+type Repairs struct {
+	Version  int           `json:"version"`
+	MaxRanks int           `json:"maxRanks"`
+	Points   []RepairPoint `json:"points"`
+}
+
+// RunRepair executes the repair sweep up to maxRanks ranks (0 means the
+// full 1024). progress, if non-nil, receives one line per point.
+func RunRepair(maxRanks int, progress func(string)) (*Repairs, error) {
+	if maxRanks == 0 {
+		maxRanks = 1024
+	}
+	out := &Repairs{Version: RepairVersion, MaxRanks: maxRanks}
+	for _, pt := range repairPoints() {
+		if pt.Ranks > maxRanks {
+			if progress != nil {
+				progress(fmt.Sprintf("repair %s ranks=%d skipped (-maxranks %d)", pt.Gen, pt.Ranks, maxRanks))
+			}
+			continue
+		}
+		p, dead := pt.Ranks, repairDead(pt.Ranks)
+
+		t0 := time.Now()
+		rep, err := sched.Repair(pt.Gen, p, dead, nil)
+		if err != nil {
+			return nil, fmt.Errorf("bench: repair %s/%d: %w", pt.Gen, p, err)
+		}
+		if err := rep.Verify(); err != nil {
+			return nil, fmt.Errorf("bench: repair %s/%d failed re-verification: %w", pt.Gen, p, err)
+		}
+		repairT := time.Since(t0)
+
+		rp0, err := sched.GenerateRank(pt.Gen, p, 0, nil)
+		if err != nil {
+			return nil, fmt.Errorf("bench: repair %s/%d baseline: %w", pt.Gen, p, err)
+		}
+		// Count rounds from emitted programs on both sides: the slicers'
+		// internal round figure is a hop count, one short of the emitted
+		// round list.
+		rep0, err := rep.Program(0)
+		if err != nil {
+			return nil, fmt.Errorf("bench: repair %s/%d: %w", pt.Gen, p, err)
+		}
+		t0 = time.Now()
+		if err := sched.VerifyWorldSliced(pt.Gen, p, nil); err != nil {
+			return nil, fmt.Errorf("bench: repair %s/%d recompile baseline: %w", pt.Gen, p, err)
+		}
+		recompileT := time.Since(t0)
+
+		point := RepairPoint{
+			Gen: pt.Gen, Ranks: p, Dead: dead,
+			Survivors:        p - 1,
+			Rescheduled:      len(rep.RescheduledRanks()),
+			DroppedBlocks:    rep.DroppedBlocks(),
+			ReroutedBlocks:   rep.ReroutedBlocks(),
+			Rounds:           len(rep0.Rounds),
+			BaseRounds:       len(rp0.Rounds),
+			RepairSeconds:    repairT.Seconds(),
+			RecompileSeconds: recompileT.Seconds(),
+		}
+		out.Points = append(out.Points, point)
+		if progress != nil {
+			progress(fmt.Sprintf("repair %s ranks=%d dead=%d -> %d/%d rescheduled, %.3fs vs %.3fs recompile",
+				pt.Gen, p, dead, point.Rescheduled, point.Survivors, point.RepairSeconds, point.RecompileSeconds))
+		}
+	}
+	if len(out.Points) == 0 {
+		return nil, fmt.Errorf("bench: -maxranks %d below the smallest repair point (%d)", maxRanks, repairPoints()[0].Ranks)
+	}
+	return out, nil
+}
+
+// Encode writes the artifact as indented JSON.
+func (r *Repairs) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Save writes the artifact to path atomically (internal/artifact).
+func (r *Repairs) Save(path string) error {
+	return artifact.Save(path, "bench: saving repair experiment", r.Encode)
+}
+
+// Format prints the experiment as a text table.
+func (r *Repairs) Format(w io.Writer) error {
+	fmt.Fprintf(w, "failure repair — patch + re-verify vs full recompile (one dead rank, shape preserved)\n")
+	fmt.Fprintf(w, "%-10s %6s %6s %12s %9s %9s %8s %10s %12s\n",
+		"generator", "ranks", "dead", "rescheduled", "dropped", "rerouted", "rounds", "repair s", "recompile s")
+	for _, pt := range r.Points {
+		rounds := fmt.Sprint(pt.Rounds)
+		if pt.Rounds != pt.BaseRounds {
+			rounds = fmt.Sprintf("%d(+%d)", pt.Rounds, pt.Rounds-pt.BaseRounds)
+		}
+		fmt.Fprintf(w, "%-10s %6d %6d %5d/%-6d %9d %9d %8s %10.4f %12.4f\n",
+			pt.Gen, pt.Ranks, pt.Dead, pt.Rescheduled, pt.Survivors,
+			pt.DroppedBlocks, pt.ReroutedBlocks, rounds, pt.RepairSeconds, pt.RecompileSeconds)
+	}
+	fmt.Fprintln(w)
+	return nil
+}

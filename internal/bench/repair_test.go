@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunRepairQuick runs the capped sweep and checks the structural
+// claims: repair confines route work to strictly fewer ranks than a
+// full recompile touches, the patched worlds re-verify (RunRepair fails
+// otherwise), and the artifact round-trips.
+func TestRunRepairQuick(t *testing.T) {
+	r, err := RunRepair(64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) == 0 {
+		t.Fatal("no points")
+	}
+	gens := map[string]bool{}
+	for _, pt := range r.Points {
+		gens[pt.Gen] = true
+		if pt.Rescheduled <= 0 || pt.Rescheduled > pt.Survivors {
+			t.Errorf("%s@%d: rescheduled %d of %d survivors", pt.Gen, pt.Ranks, pt.Rescheduled, pt.Survivors)
+		}
+		// The localized families confine route work to a thin
+		// neighborhood; the ring's complementary-arc detour does not.
+		if pt.Gen != "ring" && pt.Rescheduled >= pt.Survivors {
+			t.Errorf("%s@%d: rescheduled all %d survivors, want a strict subset",
+				pt.Gen, pt.Ranks, pt.Rescheduled)
+		}
+		if pt.DroppedBlocks != 2*(pt.Ranks-1) {
+			t.Errorf("%s@%d: dropped %d blocks, want 2(p-1) = %d",
+				pt.Gen, pt.Ranks, pt.DroppedBlocks, 2*(pt.Ranks-1))
+		}
+		if pt.RepairSeconds <= 0 || pt.RecompileSeconds <= 0 {
+			t.Errorf("%s@%d: non-positive timing", pt.Gen, pt.Ranks)
+		}
+		// Detours rejoin at the original rounds or extend past them —
+		// repair never shortens the exchange.
+		if pt.Rounds < pt.BaseRounds {
+			t.Errorf("%s@%d: repaired rounds %d < original %d", pt.Gen, pt.Ranks, pt.Rounds, pt.BaseRounds)
+		}
+	}
+	for _, g := range []string{"ring", "torus", "hypercube"} {
+		if !gens[g] {
+			t.Errorf("no %s point in the capped sweep", g)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := r.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Repairs
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Version != RepairVersion || len(back.Points) != len(r.Points) {
+		t.Fatalf("round-trip lost data: %+v", back)
+	}
+	var txt bytes.Buffer
+	if err := r.Format(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "ring") {
+		t.Fatalf("format output missing series:\n%s", txt.String())
+	}
+}
+
+// TestRunRepairCapTooLow: a cap below the smallest point is an error,
+// not an empty artifact.
+func TestRunRepairCapTooLow(t *testing.T) {
+	if _, err := RunRepair(32, nil); err == nil {
+		t.Fatal("want error for -maxranks below the smallest point")
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"alltoallx/internal/comm"
 	"alltoallx/internal/sched"
+	"alltoallx/internal/singleflight"
 	"alltoallx/internal/topo"
 )
 
@@ -25,6 +26,14 @@ import (
 // worlds use rank-sliced compilation: each rank builds only its own
 // sched.RankProgram — O(slice), never O(p^2) — verified locally per
 // slice plus once per world by the streaming cross-rank verifier.
+//
+// Construction consults, in order: the in-process LRU cache, the
+// schedule service (when a fetcher is installed via SetSchedFetcher),
+// and local compilation. The service's "daemon → disk" ordering
+// describes the system end-to-end — the daemon fronts the disk
+// registry — but within a process the LRU is consulted first: it is the
+// cheapest tier, and programs are immutable once verified, so a cached
+// copy can never be stale relative to the service.
 
 // SchedPrefix is the registry namespace of schedule-backed algorithms.
 const SchedPrefix = "sched:"
@@ -37,6 +46,50 @@ const SchedPrefix = "sched:"
 // rank's construction would miss and recompile the whole world (the ring
 // schedule at 256 ranks is already ~800 MB of steps).
 const schedSliceRanks = 128
+
+// Test seams for the compilation entry points, so tests can count
+// generator invocations (proving the negative cache and singleflight
+// actually prevent runs) without touching the generators themselves.
+var (
+	schedGenerate          = sched.Generate
+	schedGenerateRank      = sched.GenerateRank
+	schedVerifyWorldSliced = sched.VerifyWorldSliced
+)
+
+// SchedFetcher is the schedule-service hook: it resolves a
+// (generator, world, rank) to a compiled rank program from a shared
+// source — the a2aschedd daemon or a disk registry. The contract is
+// three-valued:
+//
+//	(rp, nil)   hit — core verifies the slice locally and uses it,
+//	            skipping world verification (the service verified the
+//	            world before serving anything)
+//	(nil, err)  definitive rejection — the world cannot be compiled;
+//	            core negative-caches the error
+//	(nil, nil)  service unavailable — fall through to local compilation
+type SchedFetcher func(gen string, p int, m *topo.Mapping, rank int) (*sched.RankProgram, error)
+
+var schedFetcherHook struct {
+	sync.RWMutex
+	f SchedFetcher
+}
+
+// SetSchedFetcher installs (or, with nil, removes) the schedule-service
+// fetcher. While a fetcher is installed, schedule-backed algorithms
+// construct through the rank-sliced path at every world size, since the
+// service serves rank programs. Install once at process startup (cmd
+// wiring), before constructions begin.
+func SetSchedFetcher(f SchedFetcher) {
+	schedFetcherHook.Lock()
+	schedFetcherHook.f = f
+	schedFetcherHook.Unlock()
+}
+
+func schedFetcher() SchedFetcher {
+	schedFetcherHook.RLock()
+	defer schedFetcherHook.RUnlock()
+	return schedFetcherHook.f
+}
 
 // schedState is the persistent form of a schedule-backed algorithm: the
 // verified schedule (or this rank's slice of it) plus its executor's
@@ -73,12 +126,22 @@ func (st *schedState) Program() *sched.RankProgram { return st.ex.Program() }
 // autotune sweep over many world shapes no longer accretes every
 // schedule it ever compiled. Eviction only bounds reuse, not
 // correctness — live executors keep their own references.
+//
+// Alongside the positive entries it keeps a negative cache: worlds a
+// generator rejected (hypercube at a non-power-of-2 world, say) are
+// remembered as their error, so repeated construction attempts — every
+// rank of an SPMD program, or an autotune sweep probing all generators —
+// run the failing generator once, not once per attempt. Negative
+// entries are O(error string) and uncounted against the byte limit.
 type schedCacheT struct {
 	mu    sync.Mutex
 	limit int64
 	used  int64
 	ll    *list.List // front = most recently used; values are *schedCacheEntry
 	m     map[string]*list.Element
+	neg   map[string]error
+
+	hits, misses, evictions, negHits int64
 }
 
 type schedCacheEntry struct {
@@ -97,9 +160,39 @@ type schedCacheEntry struct {
 // recompile it.
 const schedCacheDefaultLimit = 256 << 20
 
-var schedCache = &schedCacheT{limit: schedCacheDefaultLimit, ll: list.New(), m: make(map[string]*list.Element)}
+var schedCache = &schedCacheT{
+	limit: schedCacheDefaultLimit,
+	ll:    list.New(),
+	m:     make(map[string]*list.Element),
+	neg:   make(map[string]error),
+}
 
+// schedFlight coalesces concurrent constructions of the same cache key:
+// N racing goroutines run the generator once and share the result (the
+// cache then serves everyone after the flight lands).
+var schedFlight singleflight.Group
+
+// get is the counted lookup: a construction's first probe. Misses are
+// counted here so hits + misses equals the construction attempts that
+// reached the cache.
 func (c *schedCacheT) get(key string) (*schedCacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*schedCacheEntry), true
+}
+
+// peek is the uncounted lookup used inside a singleflight execution to
+// close the lost-race window (a caller that missed get but entered a
+// fresh flight after an earlier one landed); it must not distort the
+// hit/miss counters.
+func (c *schedCacheT) peek(key string) (*schedCacheEntry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.m[key]
@@ -122,6 +215,39 @@ func (c *schedCacheT) put(e *schedCacheEntry) {
 	c.evictLocked()
 }
 
+// getNeg answers from the negative cache (counted).
+func (c *schedCacheT) getNeg(key string) (error, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err, ok := c.neg[key]
+	if ok {
+		c.negHits++
+	}
+	return err, ok
+}
+
+// peekNeg is getNeg without counters (flight-internal re-check).
+func (c *schedCacheT) peekNeg(key string) (error, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err, ok := c.neg[key]
+	return err, ok
+}
+
+// putNeg records a definitive construction failure.
+func (c *schedCacheT) putNeg(key string, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.neg[key] = err
+}
+
+// deleteNeg forgets a negative verdict (tests).
+func (c *schedCacheT) deleteNeg(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.neg, key)
+}
+
 // evictLocked drops least-recently-used entries until the retained bytes
 // fit the limit. Callers hold c.mu.
 func (c *schedCacheT) evictLocked() {
@@ -131,6 +257,7 @@ func (c *schedCacheT) evictLocked() {
 		c.ll.Remove(back)
 		delete(c.m, ev.key)
 		c.used -= ev.bytes
+		c.evictions++
 	}
 }
 
@@ -164,6 +291,39 @@ func schedCacheStats() (entries int, bytes int64) {
 	return schedCache.ll.Len(), schedCache.used
 }
 
+// CacheStats is the schedule cache's observable state: what it holds and
+// the lifetime counters of how it got there. Surfaced by `a2asched
+// list`.
+type CacheStats struct {
+	// Entries and Bytes describe what the cache currently retains.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// NegativeEntries counts remembered (generator, world) rejections.
+	NegativeEntries int `json:"negative_entries"`
+	// Hits/Misses count constructions served from / missing the cache;
+	// Evictions counts entries dropped by the byte limit; NegativeHits
+	// counts constructions answered by a remembered rejection.
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	Evictions    int64 `json:"evictions"`
+	NegativeHits int64 `json:"negative_hits"`
+}
+
+// SchedCacheStats snapshots the schedule cache counters.
+func SchedCacheStats() CacheStats {
+	schedCache.mu.Lock()
+	defer schedCache.mu.Unlock()
+	return CacheStats{
+		Entries:         schedCache.ll.Len(),
+		Bytes:           schedCache.used,
+		NegativeEntries: len(schedCache.neg),
+		Hits:            schedCache.hits,
+		Misses:          schedCache.misses,
+		Evictions:       schedCache.evictions,
+		NegativeHits:    schedCache.negHits,
+	}
+}
+
 // verifiedWorlds records the streaming cross-rank verification verdict
 // per (generator, world shape): the check walks every rank's slice, so
 // one pass per world per process is enough. Entries are a string and an
@@ -178,57 +338,124 @@ func worldKey(gen string, p int, m *topo.Mapping) string {
 }
 
 // schedFor returns the verified whole-world schedule for a generator at
-// c's world, compiling it on first use (the at-or-below-threshold path).
-func schedFor(gen string, c comm.Comm) (*sched.Schedule, error) {
-	key := "w|" + worldKey(gen, c.Size(), c.Topo())
+// a p-rank world mapped by m, compiling it on first use (the
+// at-or-below-threshold path). Concurrent callers for one world
+// coalesce into a single compilation; rejections are negative-cached so
+// the failing generator runs once per world, not once per construction
+// attempt.
+func schedFor(gen string, p int, m *topo.Mapping) (*sched.Schedule, error) {
+	wk := worldKey(gen, p, m)
+	key, nkey := "w|"+wk, "n|"+wk
 	if e, ok := schedCache.get(key); ok {
 		return e.s, nil
 	}
-	s, err := sched.Generate(gen, c.Size(), c.Topo())
+	if err, ok := schedCache.getNeg(nkey); ok {
+		return nil, err
+	}
+	v, err, _ := schedFlight.Do(key, func() (any, error) {
+		if e, ok := schedCache.peek(key); ok {
+			return e.s, nil
+		}
+		if err, ok := schedCache.peekNeg(nkey); ok {
+			return nil, err
+		}
+		s, err := schedGenerate(gen, p, m)
+		if err != nil {
+			err = fmt.Errorf("core: %s%s: %w", SchedPrefix, gen, err)
+			schedCache.putNeg(nkey, err)
+			return nil, err
+		}
+		if err := sched.Verify(s); err != nil {
+			err = fmt.Errorf("core: %s%s failed static verification: %w", SchedPrefix, gen, err)
+			schedCache.putNeg(nkey, err)
+			return nil, err
+		}
+		schedCache.put(&schedCacheEntry{key: key, bytes: s.MemBytes(), s: s})
+		return s, nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("core: %s%s: %w", SchedPrefix, gen, err)
+		return nil, err
 	}
-	if err := sched.Verify(s); err != nil {
-		return nil, fmt.Errorf("core: %s%s failed static verification: %w", SchedPrefix, gen, err)
-	}
-	schedCache.put(&schedCacheEntry{key: key, bytes: s.MemBytes(), s: s})
-	return s, nil
+	return v.(*sched.Schedule), nil
 }
 
-// rankProgFor returns this rank's verified program for a generator at c's
-// world (the above-threshold path): the slice is compiled directly —
-// O(slice) memory — and locally verified; the cross-rank properties are
-// proved once per world by the streaming verifier. Any whole-world entry
-// for the same world is evicted: once a world is sliced, the assembled
-// schedule must not linger in the cache.
-func rankProgFor(gen string, c comm.Comm) (*sched.RankProgram, error) {
-	wk := worldKey(gen, c.Size(), c.Topo())
-	verifiedWorlds.Lock()
-	werr, checked := verifiedWorlds.m[wk]
-	if !checked {
-		werr = sched.VerifyWorldSliced(gen, c.Size(), c.Topo())
-		verifiedWorlds.m[wk] = werr
-	}
-	verifiedWorlds.Unlock()
-	if werr != nil {
-		return nil, fmt.Errorf("core: %s%s failed streamed verification: %w", SchedPrefix, gen, werr)
-	}
-	schedCache.delete("w|" + wk)
-	key := fmt.Sprintf("r|%s|%d", wk, c.Rank())
+// rankProgFor returns rank's verified program for a generator at a
+// p-rank world (the above-threshold path, and the only path while a
+// schedule-service fetcher is installed): in order, the in-process
+// cache, the schedule service, then direct compilation — O(slice)
+// memory — with the cross-rank properties proved once per world by the
+// streaming verifier (or by the service before it serves anything). Any
+// whole-world entry for the same world is evicted: once a world is
+// sliced, the assembled schedule must not linger in the cache.
+func rankProgFor(gen string, p, rank int, m *topo.Mapping) (*sched.RankProgram, error) {
+	wk := worldKey(gen, p, m)
+	key, nkey := fmt.Sprintf("r|%s|%d", wk, rank), "n|"+wk
 	if e, ok := schedCache.get(key); ok {
 		return e.rp, nil
 	}
-	rp, err := sched.GenerateRank(gen, c.Size(), c.Rank(), c.Topo())
-	if err != nil {
-		return nil, fmt.Errorf("core: %s%s: %w", SchedPrefix, gen, err)
+	if err, ok := schedCache.getNeg(nkey); ok {
+		return nil, err
 	}
-	// No per-slice VerifyRank here: the streamed world pass above already
-	// ran the identical local checks on every rank's slice, and
-	// generation is deterministic, so this regeneration is byte-identical
-	// to what it proved — re-walking it would double the construction
-	// cost of every above-threshold world.
-	schedCache.put(&schedCacheEntry{key: key, bytes: rp.MemBytes(), rp: rp})
-	return rp, nil
+	v, err, _ := schedFlight.Do(key, func() (any, error) {
+		if e, ok := schedCache.peek(key); ok {
+			return e.rp, nil
+		}
+		if err, ok := schedCache.peekNeg(nkey); ok {
+			return nil, err
+		}
+		if f := schedFetcher(); f != nil {
+			rp, ferr := f(gen, p, m, rank)
+			switch {
+			case ferr != nil:
+				ferr = fmt.Errorf("core: %s%s: %w", SchedPrefix, gen, ferr)
+				schedCache.putNeg(nkey, ferr)
+				return nil, ferr
+			case rp != nil:
+				// The service verified the world before serving anything;
+				// the local re-check covers only this slice's integrity
+				// after the network hop.
+				if err := sched.VerifyRank(rp); err != nil {
+					return nil, fmt.Errorf("core: %s%s: fetched program failed verification: %w", SchedPrefix, gen, err)
+				}
+				schedCache.delete("w|" + wk)
+				schedCache.put(&schedCacheEntry{key: key, bytes: rp.MemBytes(), rp: rp})
+				return rp, nil
+			}
+			// (nil, nil): service unavailable — compile locally.
+		}
+		verifiedWorlds.Lock()
+		werr, checked := verifiedWorlds.m[wk]
+		if !checked {
+			werr = schedVerifyWorldSliced(gen, p, m)
+			verifiedWorlds.m[wk] = werr
+		}
+		verifiedWorlds.Unlock()
+		if werr != nil {
+			werr = fmt.Errorf("core: %s%s failed streamed verification: %w", SchedPrefix, gen, werr)
+			schedCache.putNeg(nkey, werr)
+			return nil, werr
+		}
+		schedCache.delete("w|" + wk)
+		rp, err := schedGenerateRank(gen, p, rank, m)
+		if err != nil {
+			// Rank-range errors cannot reach here (rank comes from a live
+			// communicator), so a generator refusal is a world property.
+			err = fmt.Errorf("core: %s%s: %w", SchedPrefix, gen, err)
+			schedCache.putNeg(nkey, err)
+			return nil, err
+		}
+		// No per-slice VerifyRank here: the streamed world pass above already
+		// ran the identical local checks on every rank's slice, and
+		// generation is deterministic, so this regeneration is byte-identical
+		// to what it proved — re-walking it would double the construction
+		// cost of every above-threshold world.
+		schedCache.put(&schedCacheEntry{key: key, bytes: rp.MemBytes(), rp: rp})
+		return rp, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*sched.RankProgram), nil
 }
 
 // topoKey fingerprints the part of the topology generators consume (the
@@ -241,17 +468,19 @@ func topoKey(m *topo.Mapping) string {
 }
 
 // newSchedState builds the persistent operation; sliced selects the
-// rank-sliced construction path (forced above schedSliceRanks).
+// rank-sliced construction path (forced above schedSliceRanks, and
+// whenever a schedule-service fetcher is installed — the service serves
+// rank programs).
 func newSchedState(gen string, c comm.Comm, maxBlock int, sliced bool) (Alltoaller, error) {
 	st := &schedState{}
 	if sliced {
-		rp, err := rankProgFor(gen, c)
+		rp, err := rankProgFor(gen, c.Size(), c.Rank(), c.Topo())
 		if err != nil {
 			return nil, err
 		}
 		st.ex = sched.NewRankExec(rp)
 	} else {
-		s, err := schedFor(gen, c)
+		s, err := schedFor(gen, c.Size(), c.Topo())
 		if err != nil {
 			return nil, err
 		}
@@ -263,7 +492,8 @@ func newSchedState(gen string, c comm.Comm, maxBlock int, sliced bool) (Alltoall
 
 func newSchedFactory(gen string) factory {
 	return func(c comm.Comm, maxBlock int, _ Options) (Alltoaller, error) {
-		return newSchedState(gen, c, maxBlock, c.Size() > schedSliceRanks)
+		sliced := c.Size() > schedSliceRanks || schedFetcher() != nil
+		return newSchedState(gen, c, maxBlock, sliced)
 	}
 }
 

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"alltoallx/internal/comm"
+	"alltoallx/internal/runtime"
+	"alltoallx/internal/sched"
+	"alltoallx/internal/topo"
+)
+
+// schedSeams instruments the compilation seams for one test. Tests that
+// install it must not be parallel: the seams and the cache are package
+// globals.
+type schedSeams struct {
+	generates, rankGenerates, worldVerifies atomic.Int64
+}
+
+func countSchedSeams(t *testing.T) *schedSeams {
+	t.Helper()
+	var c schedSeams
+	og, ogr, ovw := schedGenerate, schedGenerateRank, schedVerifyWorldSliced
+	schedGenerate = func(name string, p int, m *topo.Mapping) (*sched.Schedule, error) {
+		c.generates.Add(1)
+		return og(name, p, m)
+	}
+	schedGenerateRank = func(name string, p, rank int, m *topo.Mapping) (*sched.RankProgram, error) {
+		c.rankGenerates.Add(1)
+		return ogr(name, p, rank, m)
+	}
+	schedVerifyWorldSliced = func(name string, p int, m *topo.Mapping) error {
+		c.worldVerifies.Add(1)
+		return ovw(name, p, m)
+	}
+	t.Cleanup(func() { schedGenerate, schedGenerateRank, schedVerifyWorldSliced = og, ogr, ovw })
+	return &c
+}
+
+// dropWorld removes every cache trace of one (gen, p, topo) world so a
+// test starts from a cold, unpolluted state and leaves none behind.
+func dropWorld(t *testing.T, gen string, p int, m *topo.Mapping) {
+	t.Helper()
+	clean := func() {
+		wk := worldKey(gen, p, m)
+		schedCache.delete("w|" + wk)
+		schedCache.deleteNeg("n|" + wk)
+		for r := 0; r < p; r++ {
+			schedCache.delete(fmt.Sprintf("r|%s|%d", wk, r))
+		}
+		verifiedWorlds.Lock()
+		delete(verifiedWorlds.m, wk)
+		verifiedWorlds.Unlock()
+	}
+	clean()
+	t.Cleanup(clean)
+}
+
+// TestSchedNegativeCacheRunsGeneratorOnce is the regression test for
+// repeated doomed constructions: constructing sched:hypercube at a
+// 6-rank world twice runs the generator exactly once — the second
+// construction (all six ranks of it) is answered by the negative cache.
+func TestSchedNegativeCacheRunsGeneratorOnce(t *testing.T) {
+	c := countSchedSeams(t)
+	dropWorld(t, "hypercube", 6, nil)
+
+	construct := func() error {
+		var firstErr error
+		err := runtime.Run(runtime.Config{Ranks: 6}, func(cm comm.Comm) error {
+			_, err := New("sched:hypercube", cm, 4, Options{})
+			if err == nil {
+				return fmt.Errorf("hypercube@6 constructed successfully")
+			}
+			if cm.Rank() == 0 {
+				firstErr = err
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		return firstErr
+	}
+
+	err := construct()
+	if err == nil || !strings.Contains(err.Error(), "power-of-two") {
+		t.Fatalf("first construction: %v", err)
+	}
+	if got := c.generates.Load(); got != 1 {
+		t.Fatalf("first construction ran the generator %d times, want 1 (six ranks raced)", got)
+	}
+	if err := construct(); err == nil {
+		t.Fatal("second construction succeeded")
+	}
+	if got := c.generates.Load(); got != 1 {
+		t.Fatalf("second construction re-ran the generator (%d total runs)", got)
+	}
+	st := SchedCacheStats()
+	if st.NegativeEntries == 0 || st.NegativeHits == 0 {
+		t.Fatalf("stats = %+v, want negative entries and hits recorded", st)
+	}
+}
+
+// TestSchedCacheStatsTransitions pins the counter transitions across the
+// miss → hit → eviction → miss lifecycle of one world. Delta-based: the
+// counters are process-lifetime.
+func TestSchedCacheStatsTransitions(t *testing.T) {
+	countSchedSeams(t)
+	const gen, p = "pairwise", 11
+	dropWorld(t, gen, p, nil)
+
+	base := SchedCacheStats()
+	if _, err := schedFor(gen, p, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := SchedCacheStats()
+	if d := st.Misses - base.Misses; d != 1 {
+		t.Fatalf("cold construction: %d misses, want 1", d)
+	}
+	if d := st.Hits - base.Hits; d != 0 {
+		t.Fatalf("cold construction: %d hits, want 0", d)
+	}
+
+	if _, err := schedFor(gen, p, nil); err != nil {
+		t.Fatal(err)
+	}
+	st2 := SchedCacheStats()
+	if d := st2.Hits - st.Hits; d != 1 {
+		t.Fatalf("warm construction: %d hits, want 1", d)
+	}
+	if d := st2.Misses - st.Misses; d != 0 {
+		t.Fatalf("warm construction: %d misses, want 0", d)
+	}
+
+	// Shrink the limit to zero: everything must evict, counted.
+	old := setSchedCacheLimit(0)
+	defer setSchedCacheLimit(old)
+	st3 := SchedCacheStats()
+	if st3.Entries != 0 || st3.Bytes != 0 {
+		t.Fatalf("after limit 0: %d entries, %d bytes retained", st3.Entries, st3.Bytes)
+	}
+	if d := st3.Evictions - st2.Evictions; d < 1 {
+		t.Fatalf("eviction not counted (delta %d)", d)
+	}
+	setSchedCacheLimit(old)
+
+	// Evicted world misses again and recompiles.
+	if _, err := schedFor(gen, p, nil); err != nil {
+		t.Fatal(err)
+	}
+	st4 := SchedCacheStats()
+	if d := st4.Misses - st3.Misses; d != 1 {
+		t.Fatalf("post-eviction construction: %d misses, want 1", d)
+	}
+}
+
+// TestSchedConstructionSingleflight: goroutines racing to construct the
+// same and different keys compile each key exactly once and observe
+// byte-identical programs. Run with -race.
+func TestSchedConstructionSingleflight(t *testing.T) {
+	c := countSchedSeams(t)
+	const gen, p = "ring", 13
+	dropWorld(t, gen, p, nil)
+
+	// Same whole-world key: one generator run shared by all.
+	const racers = 24
+	var wg sync.WaitGroup
+	scheds := make([]*sched.Schedule, racers)
+	errs := make([]error, racers)
+	for i := 0; i < racers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scheds[i], errs[i] = schedFor(gen, p, nil)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("racer %d: %v", i, err)
+		}
+	}
+	if got := c.generates.Load(); got != 1 {
+		t.Fatalf("whole-world generator ran %d times under contention, want 1", got)
+	}
+	for i := 1; i < racers; i++ {
+		if scheds[i] != scheds[0] {
+			t.Fatal("racers hold different schedule instances")
+		}
+	}
+
+	// Different rank keys of one world through the sliced path: one
+	// world verification, one rank compile per rank, byte-identical
+	// across repeat constructions.
+	dropWorld(t, gen, p, nil)
+	rps := make([]*sched.RankProgram, 2*p)
+	perrs := make([]error, 2*p)
+	for i := 0; i < 2*p; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rps[i], perrs[i] = rankProgFor(gen, p, i%p, nil)
+		}()
+	}
+	wg.Wait()
+	for i, err := range perrs {
+		if err != nil {
+			t.Fatalf("rank racer %d: %v", i, err)
+		}
+	}
+	// Encode after the join: racers for one rank share the cached
+	// program instance, and Encode writes the receiver's format field.
+	progs := make([][]byte, 2*p)
+	for i, rp := range rps {
+		var buf bytes.Buffer
+		if err := rp.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		progs[i] = buf.Bytes()
+	}
+	if got := c.worldVerifies.Load(); got != 1 {
+		t.Fatalf("streamed verification ran %d times, want 1", got)
+	}
+	if got := c.rankGenerates.Load(); got != int64(p) {
+		t.Fatalf("rank generator ran %d times, want %d (once per rank)", got, p)
+	}
+	for i := 0; i < p; i++ {
+		if !bytes.Equal(progs[i], progs[i+p]) {
+			t.Fatalf("rank %d: racing constructions disagree on program bytes", i)
+		}
+	}
+}
+
+// TestSchedFetcherFallback pins the SchedFetcher contract: a hit skips
+// all local compilation and verification, (nil, nil) falls through to
+// local compilation, and an error is a negative-cached definitive
+// rejection.
+func TestSchedFetcherFallback(t *testing.T) {
+	c := countSchedSeams(t)
+	const gen, p = "torus", 9
+	dropWorld(t, gen, p, nil)
+	t.Cleanup(func() { SetSchedFetcher(nil) })
+
+	// Hit: the service's program is used verbatim; no local generator or
+	// world verification runs.
+	var fetches atomic.Int64
+	SetSchedFetcher(func(g string, ranks int, m *topo.Mapping, rank int) (*sched.RankProgram, error) {
+		fetches.Add(1)
+		return sched.GenerateRank(g, ranks, rank, m)
+	})
+	rp, err := rankProgFor(gen, p, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Rank != 2 || rp.Ranks != p {
+		t.Fatalf("fetched program is rank %d of %d", rp.Rank, rp.Ranks)
+	}
+	if fetches.Load() != 1 || c.rankGenerates.Load() != 0 || c.worldVerifies.Load() != 0 {
+		t.Fatalf("fetch hit ran local work: %d fetches, %d rank compiles, %d verifies",
+			fetches.Load(), c.rankGenerates.Load(), c.worldVerifies.Load())
+	}
+	// Cached: the second construction does not even reach the fetcher.
+	if _, err := rankProgFor(gen, p, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if fetches.Load() != 1 {
+		t.Fatalf("warm construction re-fetched (%d fetches)", fetches.Load())
+	}
+
+	// Unavailable: (nil, nil) falls through to local compilation.
+	dropWorld(t, gen, p, nil)
+	SetSchedFetcher(func(string, int, *topo.Mapping, int) (*sched.RankProgram, error) {
+		return nil, nil
+	})
+	if _, err := rankProgFor(gen, p, 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.rankGenerates.Load() != 1 || c.worldVerifies.Load() != 1 {
+		t.Fatalf("fallback did not compile locally: %d rank compiles, %d verifies",
+			c.rankGenerates.Load(), c.worldVerifies.Load())
+	}
+
+	// Definitive rejection: negative-cached, fetcher consulted once.
+	dropWorld(t, gen, p, nil)
+	rejected := errors.New("service says no")
+	var rejects atomic.Int64
+	SetSchedFetcher(func(string, int, *topo.Mapping, int) (*sched.RankProgram, error) {
+		rejects.Add(1)
+		return nil, rejected
+	})
+	if _, err := rankProgFor(gen, p, 4, nil); !errors.Is(err, rejected) {
+		t.Fatalf("want the service rejection, got %v", err)
+	}
+	if _, err := rankProgFor(gen, p, 5, nil); !errors.Is(err, rejected) {
+		t.Fatalf("sibling rank: want the cached rejection, got %v", err)
+	}
+	if rejects.Load() != 1 {
+		t.Fatalf("rejection consulted the fetcher %d times, want 1", rejects.Load())
+	}
+}
+
+// TestSchedFetcherForcesSlicedPath: with a fetcher installed, even a
+// small world constructs through the rank-sliced path (the service
+// serves rank programs, not assembled schedules).
+func TestSchedFetcherForcesSlicedPath(t *testing.T) {
+	countSchedSeams(t)
+	const gen, p = "direct", 7
+	dropWorld(t, gen, p, nil)
+	t.Cleanup(func() { SetSchedFetcher(nil) })
+	SetSchedFetcher(func(g string, ranks int, m *topo.Mapping, rank int) (*sched.RankProgram, error) {
+		return sched.GenerateRank(g, ranks, rank, m)
+	})
+	err := runtime.Run(runtime.Config{Ranks: p}, func(cm comm.Comm) error {
+		a, err := New("sched:"+gen, cm, 4, Options{})
+		if err != nil {
+			return err
+		}
+		st := a.(*schedState)
+		if st.Schedule() != nil {
+			return fmt.Errorf("fetcher-backed construction materialized a whole-world schedule")
+		}
+		if rp := st.Program(); rp == nil || rp.Rank != cm.Rank() {
+			return fmt.Errorf("fetcher-backed construction program = %+v", rp)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,365 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"alltoallx/internal/comm"
+	"alltoallx/internal/netmodel"
+	"alltoallx/internal/sim"
+	"alltoallx/internal/testutil"
+	"alltoallx/internal/topo"
+)
+
+// repairCases spans every supported family at shapes small enough to
+// cross-check exhaustively, with failures at corners and interiors.
+func repairCases() []struct {
+	gen  string
+	p    int
+	dead int
+} {
+	var cases []struct {
+		gen  string
+		p    int
+		dead int
+	}
+	add := func(gen string, p int, deads ...int) {
+		for _, d := range deads {
+			cases = append(cases, struct {
+				gen  string
+				p    int
+				dead int
+			}{gen, p, d})
+		}
+	}
+	add("ring", 2, 0, 1)
+	add("ring", 5, 0, 2, 4)
+	add("ring", 8, 0, 3, 7)
+	add("torus", 12, 0, 5, 7, 11) // 3x4
+	add("torus", 16, 0, 5, 10, 15)
+	add("hypercube", 8, 0, 3, 7)
+	add("hypercube", 16, 0, 5, 15)
+	return cases
+}
+
+// TestRepairVerifies proves every repaired world with the dead-aware
+// streamed verifier: all local checks, cross-rank round pairing, and the
+// shrunken delivery accounting.
+func TestRepairVerifies(t *testing.T) {
+	t.Parallel()
+	for _, tc := range repairCases() {
+		tc := tc
+		t.Run(fmt.Sprintf("%s/p%d/dead%d", tc.gen, tc.p, tc.dead), func(t *testing.T) {
+			t.Parallel()
+			rep, err := Repair(tc.gen, tc.p, tc.dead, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rep.Verify(); err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range rep.RescheduledRanks() {
+				if r == tc.dead {
+					t.Fatalf("dead rank %d listed as rescheduled", tc.dead)
+				}
+			}
+			if n := len(rep.RescheduledRanks()); n >= tc.p {
+				t.Fatalf("rescheduled %d ranks, world only has %d", n, tc.p)
+			}
+			if rep.ReroutedBlocks() > 0 && len(rep.RescheduledRanks()) == 0 {
+				t.Fatalf("%d blocks rerouted but no rank rescheduled", rep.ReroutedBlocks())
+			}
+		})
+	}
+}
+
+// TestRepairEquivalentToShrunkenWorld is the semantic equivalence
+// property: executing the repaired programs (dead rank absent) delivers
+// exactly the surviving blocks of the shrunken all-to-all — every block
+// between survivors lands byte-correct, the dead rank's slots stay
+// untouched — which is what recompiling for the surviving ranks would
+// deliver, with the world shape kept.
+func TestRepairEquivalentToShrunkenWorld(t *testing.T) {
+	t.Parallel()
+	model := netmodel.Dane()
+	model.Node = topo.Spec{Sockets: 2, NumaPerSocket: 2, CoresPerNuma: 2}
+	shapes := []struct {
+		gen        string
+		nodes, ppn int
+		dead       int
+	}{
+		{"ring", 2, 4, 3},
+		{"torus", 4, 4, 5},
+		{"torus", 4, 4, 0},
+		{"hypercube", 2, 8, 9},
+	}
+	const block = 4
+	for _, sh := range shapes {
+		sh := sh
+		t.Run(fmt.Sprintf("%s/p%d/dead%d", sh.gen, sh.nodes*sh.ppn, sh.dead), func(t *testing.T) {
+			t.Parallel()
+			p := sh.nodes * sh.ppn
+			rep, err := Repair(sh.gen, p, sh.dead, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rep.Verify(); err != nil {
+				t.Fatal(err)
+			}
+			body := func(c comm.Comm) error {
+				rank := c.Rank()
+				if rank == sh.dead {
+					return nil // the rank is gone; survivors must not need it
+				}
+				rp, err := rep.Program(rank)
+				if err != nil {
+					return err
+				}
+				ex := NewRankExec(rp)
+				send := comm.Alloc(p * block)
+				recv := comm.Alloc(p * block)
+				testutil.FillAlltoall(send, rank, p, block)
+				for i := range recv.Bytes() {
+					recv.Bytes()[i] = 0xEE
+				}
+				if err := ex.Run(c, send, recv, block, nil); err != nil {
+					return err
+				}
+				data := recv.Bytes()
+				for s := 0; s < p; s++ {
+					for i := 0; i < block; i++ {
+						want := testutil.PatternByte(s, rank, i)
+						if s == sh.dead {
+							want = 0xEE // dead source: slot must stay untouched
+						}
+						if got := data[s*block+i]; got != want {
+							return fmt.Errorf("rank %d recv block %d byte %d: got %#x, want %#x", rank, s, i, got, want)
+						}
+					}
+				}
+				return nil
+			}
+			if _, err := sim.RunCluster(sim.ClusterConfig{Model: model, Nodes: sh.nodes, PPN: sh.ppn, Seed: 1}, body); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestRepairAfterInjectedFailure is the end-to-end failure story: the
+// original schedule deadlocks when a rank dies mid-exchange (the sim
+// names the stuck survivors), and the repaired schedule then completes on
+// the same world with the dead rank absent.
+func TestRepairAfterInjectedFailure(t *testing.T) {
+	t.Parallel()
+	model := netmodel.Dane()
+	model.Node = topo.Spec{Sockets: 2, NumaPerSocket: 2, CoresPerNuma: 2}
+	const (
+		nodes, ppn = 4, 4
+		p          = nodes * ppn
+		dead       = 6
+		block      = 4
+	)
+	s := mustGen(t, "torus", p)
+	if err := Verify(s); err != nil {
+		t.Fatal(err)
+	}
+	// Phase 1: the unrepaired world with rank 6 dying as it enters round 1.
+	body := func(c comm.Comm) error {
+		ex := NewExec(s)
+		send := comm.Alloc(p * block)
+		recv := comm.Alloc(p * block)
+		testutil.FillAlltoall(send, c.Rank(), p, block)
+		err := ex.Run(c, send, recv, block, nil)
+		if errors.Is(err, sim.ErrRankFailed) {
+			return nil // this is the dying rank: it silently vanishes
+		}
+		return err
+	}
+	cfg := sim.ClusterConfig{
+		Model: model, Nodes: nodes, PPN: ppn, Seed: 1,
+		Fail: &sim.FailSpec{Rank: dead, AtTag: TagBase + 1},
+	}
+	_, err := sim.RunCluster(cfg, body)
+	if err == nil {
+		t.Fatal("unrepaired schedule completed despite a dead rank")
+	}
+	if !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("want a deadlock diagnosis, got: %v", err)
+	}
+
+	// Phase 2: repair and rerun without the dead rank.
+	rep, err := Repair("torus", p, dead, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	body2 := func(c comm.Comm) error {
+		if c.Rank() == dead {
+			return nil
+		}
+		rp, err := rep.Program(c.Rank())
+		if err != nil {
+			return err
+		}
+		ex := NewRankExec(rp)
+		send := comm.Alloc(p * block)
+		recv := comm.Alloc(p * block)
+		testutil.FillAlltoall(send, c.Rank(), p, block)
+		return ex.Run(c, send, recv, block, nil)
+	}
+	if _, err := sim.RunCluster(sim.ClusterConfig{Model: model, Nodes: nodes, PPN: ppn, Seed: 1}, body2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepairLocality pins the acceptance bound: at 1024 ranks (32x32
+// torus) a single failure reschedules only the failure's row and column
+// neighborhood — strictly (and vastly) fewer rank slices than the world —
+// and the repaired world still re-verifies in full.
+func TestRepairLocality(t *testing.T) {
+	t.Parallel()
+	const p, dead = 1024, 517
+	rep, err := Repair("torus", p, dead, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(rep.RescheduledRanks())
+	if n >= p-1 {
+		t.Fatalf("rescheduled %d of %d survivors: repair is not local", n, p-1)
+	}
+	// The round-preserving dodges stay within one row/column of the
+	// failure: rows fi-1..fi+1 plus columns fj-1..fj+1 bound the set.
+	if n > 6*32 {
+		t.Errorf("rescheduled %d ranks, want a thin row+column neighborhood (<= %d)", n, 6*32)
+	}
+	if rep.ReroutedBlocks() == 0 {
+		t.Error("no blocks rerouted through an interior torus rank")
+	}
+	if testing.Short() {
+		t.Skip("skipping full 1024-rank re-verification in -short mode")
+	}
+	if err := rep.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepairAgainstFullRecompile cross-checks the patched world against
+// independent ground truth at a small shape: for every surviving pair the
+// repaired schedule must move exactly the same blocks end to end as the
+// original (minus the dead rank's row and column), and unpatched
+// survivors must keep byte-identical programs except for dropped dead
+// traffic.
+func TestRepairAgainstFullRecompile(t *testing.T) {
+	t.Parallel()
+	for _, tc := range repairCases() {
+		tc := tc
+		t.Run(fmt.Sprintf("%s/p%d/dead%d", tc.gen, tc.p, tc.dead), func(t *testing.T) {
+			t.Parallel()
+			rep, err := Repair(tc.gen, tc.p, tc.dead, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resched := make(map[int]bool)
+			for _, r := range rep.RescheduledRanks() {
+				resched[r] = true
+			}
+			// Every survivor outside the rescheduled set must carry a subset
+			// of its original traffic: the filter may only drop blocks.
+			sl := rep.sl
+			for x := 0; x < tc.p; x++ {
+				if x == tc.dead || resched[x] {
+					continue
+				}
+				for t2 := 0; t2 < sl.orig.rounds(); t2++ {
+					orig := make(map[int]map[int32]bool)
+					for _, m := range sl.orig.outs(x, t2) {
+						set := make(map[int32]bool)
+						for _, b := range m.blocks {
+							set[b] = true
+						}
+						orig[m.peer] = set
+					}
+					for _, m := range sl.outs(x, t2) {
+						for _, b := range m.blocks {
+							if !orig[m.peer][b] {
+								t.Fatalf("unrescheduled rank %d gained block %d to %d in round %d", x, b, m.peer, t2)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRepairErrors pins the failure modes.
+func TestRepairErrors(t *testing.T) {
+	t.Parallel()
+	if _, err := Repair("bruck", 8, 0, nil); err == nil {
+		t.Error("bruck is not route-compiled; repair must refuse")
+	}
+	if _, err := Repair("hypercube", 6, 0, nil); err == nil {
+		t.Error("hypercube@6 must be rejected")
+	}
+	if _, err := Repair("ring", 1, 0, nil); err == nil {
+		t.Error("1-rank world has nothing to repair")
+	}
+	if _, err := Repair("ring", 8, 8, nil); err == nil {
+		t.Error("dead rank out of range accepted")
+	}
+	rep, err := Repair("ring", 8, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rep.Program(3); err == nil {
+		t.Error("program for the dead rank must fail")
+	}
+	if _, err := rep.Program(8); err == nil {
+		t.Error("out-of-range program must fail")
+	}
+}
+
+// TestStreamVerifierSetDead pins the dead-aware verifier API itself.
+func TestStreamVerifierSetDead(t *testing.T) {
+	t.Parallel()
+	sv := NewStreamVerifier(4)
+	if err := sv.SetDead(5); err == nil {
+		t.Error("out-of-range dead rank accepted")
+	}
+	if err := sv.SetDead(2); err != nil {
+		t.Fatal(err)
+	}
+	// A dead rank's slice must be refused.
+	rp, err := GenerateRank("ring", 4, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sv.Add(rp); err == nil {
+		t.Error("slice of a dead rank accepted")
+	}
+	// An unrepaired survivor slice still talks to rank 2: rejected.
+	rp, err = GenerateRank("ring", 4, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sv.Add(rp); err == nil {
+		t.Error("survivor slice addressing the dead rank accepted")
+	}
+	// SetDead after streaming started is an API error.
+	sv2 := NewStreamVerifier(4)
+	rp, err = GenerateRank("ring", 4, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sv2.Add(rp); err != nil {
+		t.Fatal(err)
+	}
+	if err := sv2.SetDead(3); err == nil {
+		t.Error("SetDead accepted after the first Add")
+	}
+}

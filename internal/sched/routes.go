@@ -216,6 +216,22 @@ func torusShape(p int, m *topo.Mapping) (rows, cols int) {
 	return rows, p / rows
 }
 
+// torusRoute is the torus block route: ride the row ring to the
+// destination column, then the column ring to the destination row, both
+// shortest-direction.
+func torusRoute(rows, cols, s, d int) []int {
+	si, sj := s/cols, s%cols
+	di, dj := d/cols, d%cols
+	path := []int{s}
+	for _, j := range ringPath(sj, dj, cols)[1:] {
+		path = append(path, si*cols+j)
+	}
+	for _, i := range ringPath(si, di, rows)[1:] {
+		path = append(path, i*cols+dj)
+	}
+	return path
+}
+
 // Torus compiles the 2D-torus all-to-all: ranks form a rows x cols torus
 // (the node x ppn grid when the topology is known, else the most-square
 // factorization), and every block first rides the row ring to its
@@ -224,19 +240,7 @@ func torusShape(p int, m *topo.Mapping) (rows, cols int) {
 func Torus(p int, m *topo.Mapping) (*Schedule, error) {
 	rows, cols := torusShape(p, m)
 	name := fmt.Sprintf("torus%dx%d", rows, cols)
-	route := func(s, d int) []int {
-		si, sj := s/cols, s%cols
-		di, dj := d/cols, d%cols
-		path := []int{s}
-		for _, j := range ringPath(sj, dj, cols)[1:] {
-			path = append(path, si*cols+j)
-		}
-		for _, i := range ringPath(si, di, rows)[1:] {
-			path = append(path, i*cols+dj)
-		}
-		return path
-	}
-	return compileRoutes(name, p, route)
+	return compileRoutes(name, p, func(s, d int) []int { return torusRoute(rows, cols, s, d) })
 }
 
 // Hypercube compiles the multiport hypercube all-to-all (p must be a
@@ -254,17 +258,21 @@ func Hypercube(p int, _ *topo.Mapping) (*Schedule, error) {
 		return Pairwise(p, nil)
 	}
 	k := bits.Len(uint(p)) - 1
-	route := func(s, d int) []int {
-		path := []int{s}
-		x := s
-		for t := 0; t < k; t++ {
-			b := (s + t) % k
-			if (x^d)&(1<<b) != 0 {
-				x ^= 1 << b
-				path = append(path, x)
-			}
+	return compileRoutes("hypercube", p, func(s, d int) []int { return hypercubeRoute(k, s, d) })
+}
+
+// hypercubeRoute is the multiport hypercube block route: fix the differing
+// bits of (s, d) one per round, scanning dimensions cyclically from the
+// source-dependent start bit (s+t)%k.
+func hypercubeRoute(k, s, d int) []int {
+	path := []int{s}
+	x := s
+	for t := 0; t < k; t++ {
+		b := (s + t) % k
+		if (x^d)&(1<<b) != 0 {
+			x ^= 1 << b
+			path = append(path, x)
 		}
-		return path
 	}
-	return compileRoutes("hypercube", p, route)
+	return path
 }

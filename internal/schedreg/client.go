@@ -1,0 +1,110 @@
+package schedreg
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"alltoallx/internal/sched"
+	"alltoallx/internal/topo"
+)
+
+// Client talks to a running a2aschedd. Error discipline mirrors the
+// fallback order consumers implement: an error wrapping ErrRejected is
+// a definitive negative verdict worth caching; an error wrapping
+// ErrUnavailable (daemon down, saturated, or answering garbage) means
+// fall back to local compilation and try again later.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:7643"). The scheme defaults to http:// when
+// absent.
+func NewClient(base string) *Client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		hc:   &http.Client{Timeout: 60 * time.Second},
+	}
+}
+
+// Fetch retrieves the compiled program of gen for rank in a p-rank
+// world mapped by m (nil for flat). The returned program is decoded and
+// shape-checked but not re-verified — callers that execute it should
+// run sched.VerifyRank, since the bytes crossed a network.
+func (c *Client) Fetch(gen string, p int, m *topo.Mapping, rank int) (*sched.RankProgram, error) {
+	k := KeyFor(gen, p, m, rank)
+	q := url.Values{}
+	q.Set("gen", k.Gen)
+	q.Set("ranks", fmt.Sprint(k.Ranks))
+	q.Set("rank", fmt.Sprint(k.Rank))
+	if k.Nodes > 0 {
+		q.Set("nodes", fmt.Sprint(k.Nodes))
+		q.Set("ppn", fmt.Sprint(k.PPN))
+	}
+	resp, err := c.hc.Get(c.base + "/v1/program?" + q.Encode())
+	if err != nil {
+		return nil, fmt.Errorf("schedreg: %s: %w: %v", k, ErrUnavailable, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		rp, err := sched.DecodeRank(resp.Body)
+		if err != nil {
+			return nil, fmt.Errorf("schedreg: %s: %w: daemon sent an undecodable program: %v", k, ErrUnavailable, err)
+		}
+		if !strings.HasPrefix(rp.Name, k.Gen) || rp.Ranks != k.Ranks || rp.Rank != k.Rank {
+			return nil, fmt.Errorf("schedreg: %s: %w: daemon sent %s@p%d rank %d", k, ErrUnavailable, rp.Name, rp.Ranks, rp.Rank)
+		}
+		return rp, nil
+	case http.StatusUnprocessableEntity:
+		return nil, fmt.Errorf("schedreg: %s@%s: %w: %s", k.Gen, k.World(), ErrRejected, readBody(resp.Body))
+	default:
+		return nil, fmt.Errorf("schedreg: %s: %w: daemon answered %s: %s", k, ErrUnavailable, resp.Status, readBody(resp.Body))
+	}
+}
+
+// Stats fetches the daemon's registry counters.
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.hc.Get(c.base + "/v1/stats")
+	if err != nil {
+		return Stats{}, fmt.Errorf("schedreg: stats: %w: %v", ErrUnavailable, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Stats{}, fmt.Errorf("schedreg: stats: %w: daemon answered %s", ErrUnavailable, resp.Status)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return Stats{}, fmt.Errorf("schedreg: stats: %w: %v", ErrUnavailable, err)
+	}
+	return st, nil
+}
+
+// Healthy probes /healthz; nil means the daemon is up.
+func (c *Client) Healthy() error {
+	resp, err := c.hc.Get(c.base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("schedreg: %w: %v", ErrUnavailable, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("schedreg: %w: daemon answered %s", ErrUnavailable, resp.Status)
+	}
+	return nil
+}
+
+// readBody drains a bounded amount of an error response for the
+// message.
+func readBody(r io.Reader) string {
+	b, _ := io.ReadAll(io.LimitReader(r, 4096))
+	return strings.TrimSpace(string(b))
+}

@@ -1,0 +1,60 @@
+package schedreg
+
+import (
+	"errors"
+
+	"alltoallx/internal/sched"
+	"alltoallx/internal/topo"
+)
+
+// Fetcher adapters translating registry/daemon results into the
+// three-valued contract of core.SetSchedFetcher:
+//
+//	(rp, nil)   — hit: the caller verifies the program locally and
+//	              skips world-level verification;
+//	(nil, err)  — definitive rejection: the generator cannot serve the
+//	              world, the caller negative-caches the verdict;
+//	(nil, nil)  — unavailable: fall through to local compilation.
+//
+// Both adapters are structurally assignable to core.SchedFetcher; the
+// cmd wiring does core.SetSchedFetcher(schedreg.ClientFetcher(cl))
+// without this package importing core.
+
+// RegistryFetcher serves rank programs straight from a disk registry
+// opened in-process (no daemon). Compilation misses compile into the
+// registry, so concurrent jobs sharing the directory still compile each
+// world once. I/O failures are reported as unavailable (nil, nil): the
+// caller's local compile keeps the job running and the registry is
+// retried on the next world.
+func RegistryFetcher(r *Registry) func(gen string, p int, m *topo.Mapping, rank int) (*sched.RankProgram, error) {
+	return func(gen string, p int, m *topo.Mapping, rank int) (*sched.RankProgram, error) {
+		rp, err := r.GetOrCompile(KeyFor(gen, p, m, rank))
+		switch {
+		case err == nil:
+			return rp, nil
+		case errors.Is(err, ErrRejected):
+			return nil, err
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// ClientFetcher serves rank programs from a running a2aschedd. Daemon
+// outages and saturation (ErrUnavailable) are reported as (nil, nil) so
+// callers fall back to local compilation; only a 422 rejection — a
+// definitive verdict about the (generator, world) pair — propagates as
+// an error worth negative-caching.
+func ClientFetcher(c *Client) func(gen string, p int, m *topo.Mapping, rank int) (*sched.RankProgram, error) {
+	return func(gen string, p int, m *topo.Mapping, rank int) (*sched.RankProgram, error) {
+		rp, err := c.Fetch(gen, p, m, rank)
+		switch {
+		case err == nil:
+			return rp, nil
+		case errors.Is(err, ErrRejected):
+			return nil, err
+		default:
+			return nil, nil
+		}
+	}
+}

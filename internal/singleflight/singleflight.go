@@ -1,0 +1,52 @@
+// Package singleflight coalesces duplicate concurrent calls: all callers
+// that arrive with the same key while one execution is in flight share
+// that execution's result instead of running their own. The schedule
+// cache and registry use it so a (generator, world, rank) is compiled at
+// most once no matter how many goroutines race to construct it.
+//
+// Hand-rolled because the module deliberately has no external
+// dependencies; the API mirrors the well-known golang.org/x/sync shape.
+package singleflight
+
+import "sync"
+
+// call is one in-flight (or completed) execution.
+type call struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// Group coalesces calls by key. The zero value is ready to use.
+type Group struct {
+	mu sync.Mutex
+	m  map[string]*call
+}
+
+// Do executes fn, ensuring only one execution per key is in flight at a
+// time; duplicate callers wait for the original and receive its result.
+// shared reports whether this caller joined another caller's execution
+// rather than running fn itself.
+func (g *Group) Do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*call)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := &call{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.val, c.err, false
+}

@@ -1,0 +1,119 @@
+package singleflight
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDoSequential: with no concurrency every call runs its own fn.
+func TestDoSequential(t *testing.T) {
+	t.Parallel()
+	var g Group
+	for i := 0; i < 3; i++ {
+		v, err, shared := g.Do("k", func() (any, error) { return i, nil })
+		if err != nil || shared {
+			t.Fatalf("call %d: err=%v shared=%v", i, err, shared)
+		}
+		if v.(int) != i {
+			t.Fatalf("call %d returned %v", i, v)
+		}
+	}
+}
+
+// TestDoCoalesces: N concurrent callers per key, one execution per key,
+// everyone gets that execution's value and error.
+func TestDoCoalesces(t *testing.T) {
+	t.Parallel()
+	var g Group
+	const callers, keys = 16, 3
+	var execs [keys]atomic.Int64
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, callers*keys)
+	for k := 0; k < keys; k++ {
+		k := k
+		for i := 0; i < callers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				v, err, _ := g.Do(fmt.Sprintf("key-%d", k), func() (any, error) {
+					<-gate // hold every execution open so callers pile up
+					execs[k].Add(1)
+					if k == 2 {
+						return nil, errors.New("boom")
+					}
+					return k * 10, nil
+				})
+				if k == 2 {
+					if err == nil {
+						errs <- fmt.Errorf("key 2: error not shared")
+					}
+					return
+				}
+				if err != nil {
+					errs <- err
+				} else if v.(int) != k*10 {
+					errs <- fmt.Errorf("key %d: got %v", k, v)
+				}
+			}()
+		}
+	}
+	close(gate)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	for k := 0; k < keys; k++ {
+		if n := execs[k].Load(); n < 1 || n > callers {
+			t.Errorf("key %d executed %d times", k, n)
+		}
+	}
+}
+
+// TestDoSingleExecutionUnderContention pins the coalescing guarantee
+// hard: the winning execution holds the flight open until every caller
+// has arrived at Do, so exactly one execution happens.
+func TestDoSingleExecutionUnderContention(t *testing.T) {
+	t.Parallel()
+	var g Group
+	const callers = 32
+	var execs, entered, sharedCount atomic.Int64
+	fn := func() (any, error) {
+		// Hold the flight open until all callers are at (or inside) Do,
+		// plus a grace period for the last ones to reach the key lookup.
+		for entered.Load() < callers {
+			runtime.Gosched()
+		}
+		time.Sleep(100 * time.Millisecond)
+		execs.Add(1)
+		return "v", nil
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			entered.Add(1)
+			v, err, shared := g.Do("k", fn)
+			if err != nil || v.(string) != "v" {
+				t.Errorf("got %v, %v", v, err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("%d executions, want exactly 1", n)
+	}
+	if sharedCount.Load() != callers-1 {
+		t.Fatalf("%d callers saw shared, want %d", sharedCount.Load(), callers-1)
+	}
+}
