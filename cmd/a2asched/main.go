@@ -144,8 +144,9 @@ func runList(args []string) error {
 			*daemon, st.Hits, st.Misses, st.NegativeHits, st.Compiles)
 		return nil
 	}
-	for _, g := range sched.Generators() {
-		fmt.Println(g)
+	for _, g := range sched.AllGenerators() {
+		coll, _ := sched.GeneratorColl(g)
+		fmt.Printf("%-16s %s\n", g, coll)
 	}
 	return nil
 }
@@ -335,20 +336,23 @@ func runVerify(args []string) error {
 		return fmt.Errorf("%s: FAIL: %w", path, err)
 	}
 	st := s.Stats()
-	fmt.Printf("%s: OK — %q delivers all %d blocks exactly once over %d rounds (%d messages, %d wire blocks, %d repack copies)\n",
-		path, s.Name, s.Ranks*s.Ranks, st.Rounds, st.Messages, st.WireBlocks, st.Copies)
+	fmt.Printf("%s: OK — %s %q verifies exactly-once dataflow over %d rounds (%d messages, %d wire blocks, %d repack copies)\n",
+		path, s.Collective(), s.Name, st.Rounds, st.Messages, st.WireBlocks, st.Copies)
 	return nil
 }
 
 // inferFabric maps a schedule's generator name to the fabric kind its
-// routes were compiled for (the sched:* family names its topology).
+// routes were compiled for (the sched:* family names its topology). The
+// reduction generators prefix the topology with the collective
+// ("rs-ring", "ar-torus3x5"), so the prefix is stripped first.
 func inferFabric(name string) (string, error) {
+	topoName := strings.TrimPrefix(strings.TrimPrefix(name, "rs-"), "ar-")
 	switch {
-	case name == "ring":
+	case topoName == "ring":
 		return "ring", nil
-	case strings.HasPrefix(name, "torus"):
+	case strings.HasPrefix(topoName, "torus"):
 		return "torus", nil
-	case name == "hypercube":
+	case topoName == "hypercube":
 		return "hypercube", nil
 	}
 	return "", fmt.Errorf("cannot infer a fabric from schedule %q; pass -fabric (one of %v)", name, topo.FabricKinds())
@@ -393,39 +397,7 @@ func runPrint(args []string) error {
 		}
 		fmt.Print(sched.FormatLinkLoads(f, loads))
 	}
-	st := s.Stats()
-	fmt.Printf("schedule %q: %d ranks, %d rounds\n", s.Name, s.Ranks, st.Rounds)
-	fmt.Printf("  messages      %d (max %d per round)\n", st.Messages, st.MaxRoundMessages)
-	fmt.Printf("  wire volume   %d blocks\n", st.WireBlocks)
-	fmt.Printf("  repack        %d copies, %d blocks\n", st.Copies, st.CopyBlocks)
-	fmt.Printf("  scratch       %d blocks per rank\n", st.ScratchBlocks)
-	for ri := range s.Rounds {
-		m := s.RoundMatrix(ri)
-		msgs, vol := 0, 0
-		for _, row := range m {
-			for _, n := range row {
-				if n > 0 {
-					msgs++
-					vol += n
-				}
-			}
-		}
-		fmt.Printf("round %d: %d messages, %d blocks\n", ri, msgs, vol)
-		if s.Ranks > 16 {
-			continue // matrices get unreadable; stats only
-		}
-		for src, row := range m {
-			fmt.Printf("  %3d |", src)
-			for _, n := range row {
-				if n == 0 {
-					fmt.Printf("  .")
-				} else {
-					fmt.Printf(" %2d", n)
-				}
-			}
-			fmt.Println()
-		}
-	}
+	fmt.Print(sched.Format(s))
 	return nil
 }
 

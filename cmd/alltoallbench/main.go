@@ -56,7 +56,7 @@ func main() {
 		blockSize = flag.Int("block", 4096,
 			"with -experiment overlap: block bytes per rank pair")
 		jsonPath = flag.String("json", "",
-			"with -experiment regress, scale, contention or repair: write the machine-readable output (BENCH_regress.json / BENCH_scale.json / BENCH_contention.json; repair has no committed snapshot) to this path")
+			"with -experiment regress, scale, contention or repair: write the machine-readable output (BENCH_regress.json / BENCH_scale.json / BENCH_contention.json / BENCH_repair.json) to this path")
 		maxRanks = flag.Int("maxranks", 0,
 			"with -experiment scale, contention or repair: cap the swept world size (0 = the experiment's full sweep; CI smoke uses 256)")
 		schedRoot = flag.String("schedreg", "", "schedule-registry directory: resolve sched:* programs through it (compile-once across processes)")

@@ -63,6 +63,11 @@ const schedMaxRanks = 1024
 // would dwarf the rest of the sweep combined.
 const ringMaxRanks = 256
 
+// vSchedMaxRanks mirrors core's ceiling for the schedule-backed
+// alltoallv, which compiles the assembled O(p^2) schedule per count
+// matrix and is rejected at construction above it.
+const vSchedMaxRanks = 128
+
 // DefaultCandidates returns the tuning pool for an operation at a
 // nodes x ppn world, restricted to divisors of ppn. For OpAlltoall it is
 // the paper's algorithm family with the leader/group sizes it evaluates,
@@ -88,6 +93,12 @@ func DefaultCandidates(op core.Op, nodes, ppn int) []Candidate {
 					Candidate{Name: fmt.Sprintf("locality-aware/%dppg", q), Algo: "locality-aware", Opts: core.Options{PPG: q}},
 				)
 			}
+		}
+		// The schedule-backed alltoallv compiles and verifies the
+		// assembled schedule per count matrix, so it joins the pool only
+		// up to its own whole-world ceiling (vSchedMaxRanks in core).
+		if p := nodes * ppn; p > 1 && p <= vSchedMaxRanks {
+			cands = append(cands, Candidate{Name: "sched:pairwise", Algo: "sched:pairwise"})
 		}
 		return cands
 	}

@@ -49,12 +49,21 @@ func TestDefaultCandidates(t *testing.T) {
 	if !has(cands12, "sched:ring") || has(cands12, "sched:hypercube") {
 		t.Errorf("12-rank pool wrong schedule gating: %v", cands12)
 	}
-	// The v-operation pool carries no schedule candidates (schedules
-	// compile fixed-size exchanges).
-	for _, c := range DefaultCandidates(core.OpAlltoallv, 2, 8) {
+	// The v-operation pool carries the count-parameterized schedule
+	// candidate — never the fixed-shape families, which compile
+	// fixed-size exchanges.
+	vcands := DefaultCandidates(core.OpAlltoallv, 2, 8)
+	if !has(vcands, "sched:pairwise") {
+		t.Errorf("16-rank alltoallv pool missing sched:pairwise: %v", vcands)
+	}
+	for _, c := range vcands {
 		if c.Algo == "sched:ring" || c.Algo == "sched:torus" || c.Algo == "sched:hypercube" {
-			t.Errorf("alltoallv pool contains schedule candidate %s", c.Name)
+			t.Errorf("alltoallv pool contains fixed-shape schedule candidate %s", c.Name)
 		}
+	}
+	// Above the whole-world compile ceiling the v-schedule drops out.
+	if big := DefaultCandidates(core.OpAlltoallv, 8, 32); has(big, "sched:pairwise") {
+		t.Errorf("256-rank alltoallv pool contains sched:pairwise beyond vSchedMaxRanks")
 	}
 }
 

@@ -66,11 +66,14 @@ func TestAllgatherRegistry(t *testing.T) {
 }
 
 // TestAllreduceRegistry verifies every registered allreduce sums int64
-// payloads correctly through a persistent instance.
+// payloads correctly through a persistent instance. The element count
+// matches the world size so the buffer splits into whole int64 blocks —
+// the schedule-backed variants distribute the buffer as p rank blocks
+// and need the element boundaries to survive the split.
 func TestAllreduceRegistry(t *testing.T) {
 	t.Parallel()
 	m := registryMapping(t)
-	const elems = 5
+	const elems = 16
 	for _, name := range AllreduceNames() {
 		name := name
 		t.Run(name, func(t *testing.T) {

@@ -1,0 +1,89 @@
+package collx
+
+import (
+	"fmt"
+
+	"alltoallx/internal/comm"
+	"alltoallx/internal/core"
+	"alltoallx/internal/sched"
+)
+
+// Schedule-backed reductions: the reduce-scatter and allreduce compiled
+// by internal/sched's reduction generators, registered here under the
+// same "sched:<topology>" naming the all-to-all family uses. The
+// schedules are operator-generic (compiled once per world, verified
+// statically, cached and serviceable like every sched:* artifact — the
+// construction goes through core.NewSchedExec); the caller's Op is
+// installed per call, so one persistent operation serves any operator.
+
+// schedTopos maps the registry suffix to the reduction generators'
+// topology names (the generator registry prefixes the collective:
+// "rs-ring", "ar-torus", ...).
+var schedTopos = []string{"ring", "torus", "hypercube"}
+
+func init() {
+	for _, topo := range schedTopos {
+		rsGen, arGen := "rs-"+topo, "ar-"+topo
+		name := "sched:" + topo
+		rsRegistry[name] = func(c comm.Comm, _ core.Options) (ReduceScatterer, error) {
+			op, err := newCollOp(name, c, false)
+			if err != nil {
+				return nil, err
+			}
+			ex, err := core.NewSchedExec(rsGen, c)
+			if err != nil {
+				return nil, err
+			}
+			return &reduceScatterer{collOp: op, run: func(send, recv comm.Buffer, block int, rop Op) error {
+				if err := checkSchedRS(c, send, recv, block); err != nil {
+					return err
+				}
+				ex.SetOp(sched.ReduceOp(rop))
+				return ex.Run(c, send, recv, block, op.rec)
+			}}, nil
+		}
+		arRegistry[name] = func(c comm.Comm, _ core.Options) (Allreducer, error) {
+			op, err := newCollOp(name, c, false)
+			if err != nil {
+				return nil, err
+			}
+			ex, err := core.NewSchedExec(arGen, c)
+			if err != nil {
+				return nil, err
+			}
+			// The schedule reads a send space and writes a recv space, but
+			// the allreduce contract is in-place: a persistent shadow holds
+			// the input so buf can serve as the recv space.
+			var shadow comm.Buffer
+			return &allreducer{collOp: op, run: func(buf comm.Buffer, rop Op) error {
+				p := c.Size()
+				if buf.Len() == 0 || buf.Len()%p != 0 {
+					return fmt.Errorf("collx: sched allreduce needs a buffer divisible into %d rank blocks, got %d bytes", p, buf.Len())
+				}
+				block := buf.Len() / p
+				if shadow.Len() != buf.Len() || shadow.IsVirtual() != buf.IsVirtual() {
+					shadow = allocLike(buf, buf.Len())
+				}
+				if err := c.Memcpy(shadow, buf); err != nil {
+					return err
+				}
+				ex.SetOp(sched.ReduceOp(rop))
+				return ex.Run(c, shadow, buf, block, op.rec)
+			}}, nil
+		}
+	}
+}
+
+// checkSchedRS mirrors the reference reduce-scatter's argument contract.
+func checkSchedRS(c comm.Comm, send, recv comm.Buffer, block int) error {
+	if block <= 0 {
+		return fmt.Errorf("collx: block must be positive, got %d", block)
+	}
+	if send.Len() < c.Size()*block {
+		return fmt.Errorf("collx: send buffer %d short of %d", send.Len(), c.Size()*block)
+	}
+	if recv.Len() < block {
+		return fmt.Errorf("collx: recv buffer %d short of block %d", recv.Len(), block)
+	}
+	return nil
+}

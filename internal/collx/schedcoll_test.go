@@ -1,0 +1,148 @@
+package collx
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"alltoallx/internal/comm"
+	"alltoallx/internal/core"
+	"alltoallx/internal/netmodel"
+	"alltoallx/internal/runtime"
+	"alltoallx/internal/sim"
+	"alltoallx/internal/topo"
+)
+
+// schedCollNames are the schedule-backed reduction registry entries.
+func schedCollNames() []string {
+	out := make([]string, 0, len(schedTopos))
+	for _, topo := range schedTopos {
+		out = append(out, "sched:"+topo)
+	}
+	return out
+}
+
+// schedEquivBody runs every schedule-backed reduce-scatter and allreduce
+// next to the reference algorithms on identical int64 payloads and
+// demands byte-identical results, for both test operators. It is
+// substrate-agnostic: the same body runs live and under the simulator.
+func schedEquivBody(elems int) func(c comm.Comm) error {
+	return func(c comm.Comm) error {
+		p, r := c.Size(), c.Rank()
+		block := elems * 8
+		fill := func(buf comm.Buffer) {
+			for d := 0; d < p; d++ {
+				for e := 0; e < elems; e++ {
+					putLeU64(buf.Bytes()[d*block+e*8:], uint64(int64(r*31+d*7+e*3)))
+				}
+			}
+		}
+		for _, opCase := range []struct {
+			name string
+			op   Op
+		}{{"sum", SumInt64}, {"max", MaxInt64}} {
+			// Reference results.
+			refSend := comm.Alloc(p * block)
+			refRS := comm.Alloc(block)
+			fill(refSend)
+			if err := ReduceScatterPairwise(c, refSend, refRS, block, opCase.op); err != nil {
+				return err
+			}
+			refAR := comm.Alloc(p * block)
+			fill(refAR)
+			if err := AllreduceRecursiveDoubling(c, refAR, opCase.op); err != nil {
+				return err
+			}
+			for _, name := range schedCollNames() {
+				rs, err := NewReduceScatter(name, c, core.Options{})
+				if err != nil {
+					return fmt.Errorf("%s: %w", name, err)
+				}
+				send := comm.Alloc(p * block)
+				recv := comm.Alloc(block)
+				fill(send)
+				if err := rs.ReduceScatter(send, recv, block, opCase.op); err != nil {
+					return fmt.Errorf("%s/%s reduce-scatter: %w", name, opCase.name, err)
+				}
+				if !bytes.Equal(recv.Bytes(), refRS.Bytes()) {
+					return fmt.Errorf("%s/%s reduce-scatter diverges from pairwise reference at rank %d", name, opCase.name, r)
+				}
+				ar, err := NewAllreduce(name, c, core.Options{})
+				if err != nil {
+					return fmt.Errorf("%s: %w", name, err)
+				}
+				buf := comm.Alloc(p * block)
+				fill(buf)
+				if err := ar.Allreduce(buf, opCase.op); err != nil {
+					return fmt.Errorf("%s/%s allreduce: %w", name, opCase.name, err)
+				}
+				if !bytes.Equal(buf.Bytes(), refAR.Bytes()) {
+					return fmt.Errorf("%s/%s allreduce diverges from recursive-doubling reference at rank %d", name, opCase.name, r)
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// TestSchedCollEquivalenceLive: on the live runtime, every sched:*
+// reduce-scatter and allreduce is byte-identical to the collx reference
+// algorithms under both operators. The 16-rank world is a power of two
+// so the hypercube schedules participate.
+func TestSchedCollEquivalenceLive(t *testing.T) {
+	t.Parallel()
+	m := registryMapping(t)
+	if err := runtime.Run(runtime.Config{Mapping: m}, schedEquivBody(3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedCollEquivalenceSim: the same equivalence under the
+// discrete-event simulator with real payloads — the virtual-time
+// transport must not perturb reduction contents.
+func TestSchedCollEquivalenceSim(t *testing.T) {
+	t.Parallel()
+	model := netmodel.Dane()
+	model.Node = topo.Spec{Sockets: 2, NumaPerSocket: 2, CoresPerNuma: 2}
+	if _, err := sim.RunCluster(sim.ClusterConfig{Model: model, Nodes: 2, PPN: 8, Seed: 1},
+		schedEquivBody(2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedCollArgErrors: the schedule-backed wrappers enforce the
+// reference argument contracts before touching the executor.
+func TestSchedCollArgErrors(t *testing.T) {
+	t.Parallel()
+	err := runtime.Run(runtime.Config{Ranks: 2}, func(c comm.Comm) error {
+		rs, err := NewReduceScatter("sched:ring", c, core.Options{})
+		if err != nil {
+			return err
+		}
+		if err := rs.ReduceScatter(comm.Alloc(16), comm.Alloc(8), 0, SumInt64); err == nil ||
+			!strings.Contains(err.Error(), "block must be positive") {
+			return fmt.Errorf("zero block: %v", err)
+		}
+		if err := rs.ReduceScatter(comm.Alloc(8), comm.Alloc(8), 8, SumInt64); err == nil ||
+			!strings.Contains(err.Error(), "send buffer") {
+			return fmt.Errorf("short send: %v", err)
+		}
+		if err := rs.ReduceScatter(comm.Alloc(16), comm.Alloc(4), 8, SumInt64); err == nil ||
+			!strings.Contains(err.Error(), "recv buffer") {
+			return fmt.Errorf("short recv: %v", err)
+		}
+		ar, err := NewAllreduce("sched:ring", c, core.Options{})
+		if err != nil {
+			return err
+		}
+		if err := ar.Allreduce(comm.Alloc(9), SumInt64); err == nil ||
+			!strings.Contains(err.Error(), "divisible") {
+			return fmt.Errorf("indivisible allreduce buffer: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -467,25 +467,54 @@ func topoKey(m *topo.Mapping) string {
 	return fmt.Sprintf("%dx%d", m.Nodes(), m.PPN())
 }
 
+// newSchedExec compiles and verifies gen's schedule for c's world and
+// wraps it in a fresh executor; sliced selects the rank-sliced
+// construction path.
+func newSchedExec(gen string, c comm.Comm, sliced bool) (*sched.Exec, error) {
+	if sliced {
+		rp, err := rankProgFor(gen, c.Size(), c.Rank(), c.Topo())
+		if err != nil {
+			return nil, err
+		}
+		return sched.NewRankExec(rp), nil
+	}
+	s, err := schedFor(gen, c.Size(), c.Topo())
+	if err != nil {
+		return nil, err
+	}
+	return sched.NewExec(s), nil
+}
+
+// NewSchedExec compiles, statically verifies, caches and wraps the named
+// generator's schedule for c's world, choosing the whole-world or
+// rank-sliced construction path exactly as the sched:* algorithm
+// registry does (sliced above schedSliceRanks ranks and whenever a
+// schedule-service fetcher is installed). It is the building block for
+// running schedules outside the Alltoaller shell — collx's
+// schedule-backed reductions and the sched-backed alltoallv dispatcher
+// construct through it, sharing the LRU cache, the negative cache, the
+// singleflight coalescing and the schedule service with every other
+// consumer. Callers running reduction schedules must install an operator
+// via Exec.SetOp before Run.
+func NewSchedExec(gen string, c comm.Comm) (*sched.Exec, error) {
+	if c == nil {
+		return nil, fmt.Errorf("core: nil communicator")
+	}
+	sliced := c.Size() > schedSliceRanks || schedFetcher() != nil
+	return newSchedExec(gen, c, sliced)
+}
+
 // newSchedState builds the persistent operation; sliced selects the
 // rank-sliced construction path (forced above schedSliceRanks, and
 // whenever a schedule-service fetcher is installed — the service serves
 // rank programs).
 func newSchedState(gen string, c comm.Comm, maxBlock int, sliced bool) (Alltoaller, error) {
 	st := &schedState{}
-	if sliced {
-		rp, err := rankProgFor(gen, c.Size(), c.Rank(), c.Topo())
-		if err != nil {
-			return nil, err
-		}
-		st.ex = sched.NewRankExec(rp)
-	} else {
-		s, err := schedFor(gen, c.Size(), c.Topo())
-		if err != nil {
-			return nil, err
-		}
-		st.ex = sched.NewExec(s)
+	ex, err := newSchedExec(gen, c, sliced)
+	if err != nil {
+		return nil, err
 	}
+	st.ex = ex
 	st.basic = newBasic(SchedPrefix+gen, c, maxBlock, st.run)
 	return st, nil
 }

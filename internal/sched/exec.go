@@ -32,7 +32,18 @@ type Exec struct {
 	rp      *RankProgram // pre-sliced form, or the lazy slice of s
 	scratch []comm.Buffer
 	load    *LoadRecord // optional per-round traffic recording
+	op      ReduceOp    // operator applied by Reduce steps (SetOp)
 }
+
+// ReduceOp combines in into acc element-wise (acc = acc op in), the
+// operator contract shared with collx.Op. Reduction schedules are
+// compiled operator-generically, so the executor applies whichever
+// operator the caller installs per run.
+type ReduceOp func(acc, in []byte)
+
+// SetOp installs the operator Reduce steps apply. Running a schedule
+// containing Reduce steps without an installed operator is an error.
+func (e *Exec) SetOp(op ReduceOp) { e.op = op }
 
 // SetLoadRecord attaches a (typically shared) LoadRecord; every send the
 // executor issues is then recorded per round. Pass nil to stop recording.
@@ -71,9 +82,10 @@ func ensure(buf *comm.Buffer, ref comm.Buffer, n int) {
 }
 
 // Run executes the schedule's rounds for this rank: post the round's
-// receives, walk copies and sends in step order, wait, next round. rec,
-// when non-nil, accrues Copy time under trace.PhaseRepack (the schedule's
-// repack cost in the phase breakdown); it may be nil.
+// receives, walk copies, reduces and sends in step order, wait, next
+// round. rec, when non-nil, accrues Copy time under trace.PhaseRepack
+// and Reduce time under trace.PhaseReduce (the schedule's repack and
+// compute costs in the phase breakdown); it may be nil.
 func (e *Exec) Run(c comm.Comm, send, recv comm.Buffer, block int, rec *trace.Recorder) error {
 	rp := e.rp
 	if e.s != nil && (rp == nil || rp.Rank != c.Rank()) {
@@ -139,6 +151,19 @@ func (e *Exec) Run(c comm.Comm, send, recv comm.Buffer, block int, rec *trace.Re
 					return fmt.Errorf("sched: %s round %d copy: %w", rp.Name, ri, err)
 				}
 				rec.Add(trace.PhaseRepack, c.Now()-t0)
+			case Reduce:
+				if e.op == nil {
+					return fmt.Errorf("sched: %s round %d: schedule has a reduce step but no operator is installed (Exec.SetOp)", rp.Name, ri)
+				}
+				t0 := c.Now()
+				dst, src := ref(st.Dst), ref(st.Src)
+				if !dst.IsVirtual() && !src.IsVirtual() {
+					e.op(dst.Bytes(), src.Bytes())
+				}
+				if err := c.ChargeCopy(st.Src.N*block, 1); err != nil {
+					return fmt.Errorf("sched: %s round %d reduce: %w", rp.Name, ri, err)
+				}
+				rec.Add(trace.PhaseReduce, c.Now()-t0)
 			case Send, SendRecv:
 				rq, err := c.Isend(ref(st.Src), st.To, tag)
 				if err != nil {

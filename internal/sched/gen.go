@@ -12,28 +12,71 @@ import (
 // generators (torus) shape themselves from it.
 type Generator func(p int, m *topo.Mapping) (*Schedule, error)
 
-// generators is the registry of schedule generators. The classic
-// algorithms (direct, pairwise, bruck) are compiled straight into the IR;
-// the direct-connect families (ring, torus, hypercube) are compiled from
-// per-block routes — schedules the loop-coded core algorithms cannot
-// express.
-var generators = map[string]Generator{
-	"direct":    Direct,
-	"pairwise":  Pairwise,
-	"bruck":     Bruck,
-	"ring":      Ring,
-	"torus":     Torus,
-	"hypercube": Hypercube,
+// genEntry couples a generator's collective kind with its whole-world
+// and rank-sliced compilers (one sliced implementation per generator; a
+// test pins every entry complete).
+type genEntry struct {
+	coll  Coll
+	whole Generator
+	rank  rankGenerator
 }
 
-// Generators returns all generator names, sorted.
-func Generators() []string {
-	names := make([]string, 0, len(generators))
-	for n := range generators {
+// genRegistry is the registry of schedule generators. The classic
+// all-to-all algorithms (direct, pairwise, bruck) are compiled straight
+// into the IR; the direct-connect families (ring, torus, hypercube) are
+// compiled from per-block routes — schedules the loop-coded core
+// algorithms cannot express. The rs-*/ar-* families compile
+// reduce-scatter and allreduce onto the same topologies (reduce.go).
+var genRegistry = map[string]genEntry{
+	"direct":    {CollAlltoall, Direct, directRank},
+	"pairwise":  {CollAlltoall, Pairwise, pairwiseRank},
+	"bruck":     {CollAlltoall, Bruck, bruckRank},
+	"ring":      {CollAlltoall, Ring, ringRank},
+	"torus":     {CollAlltoall, Torus, torusRank},
+	"hypercube": {CollAlltoall, Hypercube, hypercubeRank},
+
+	"rs-ring":      {CollReduceScatter, RingReduceScatter, ringReduceScatterRank},
+	"rs-torus":     {CollReduceScatter, TorusReduceScatter, torusReduceScatterRank},
+	"rs-hypercube": {CollReduceScatter, HypercubeReduceScatter, hypercubeReduceScatterRank},
+	"ar-ring":      {CollAllreduce, RingAllreduce, ringAllreduceRank},
+	"ar-torus":     {CollAllreduce, TorusAllreduce, torusAllreduceRank},
+	"ar-hypercube": {CollAllreduce, HypercubeAllreduce, hypercubeAllreduceRank},
+}
+
+// Generators returns the all-to-all generator names, sorted — the set
+// core registers as sched:* all-to-all algorithms. Reduction generators
+// are listed by GeneratorsFor/AllGenerators and reach core through the
+// collx registries instead.
+func Generators() []string { return GeneratorsFor(CollAlltoall) }
+
+// AllGenerators returns every generator name, sorted.
+func AllGenerators() []string {
+	names := make([]string, 0, len(genRegistry))
+	for n := range genRegistry {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	return names
+}
+
+// GeneratorsFor returns the names of the generators compiling the given
+// collective, sorted.
+func GeneratorsFor(coll Coll) []string {
+	var names []string
+	for n, e := range genRegistry {
+		if e.coll == coll {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GeneratorColl reports the collective a named generator compiles, and
+// whether the name is known.
+func GeneratorColl(name string) (Coll, bool) {
+	e, ok := genRegistry[name]
+	return e.coll, ok
 }
 
 // MaxRanks is the largest world a schedule can address: block identities
@@ -55,14 +98,14 @@ func checkRanks(p int) error {
 
 // Generate compiles the named schedule for p ranks (m may be nil).
 func Generate(name string, p int, m *topo.Mapping) (*Schedule, error) {
-	g, ok := generators[name]
+	e, ok := genRegistry[name]
 	if !ok {
-		return nil, fmt.Errorf("sched: unknown generator %q (have %v)", name, Generators())
+		return nil, fmt.Errorf("sched: unknown generator %q (have %v)", name, AllGenerators())
 	}
 	if err := checkRanks(p); err != nil {
 		return nil, err
 	}
-	return g(p, m)
+	return e.whole(p, m)
 }
 
 // sendRef/recvRef/scratchRef are small constructors for readable

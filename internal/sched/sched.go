@@ -1,8 +1,9 @@
 // Package sched is the communication-schedule subsystem: an explicit
-// intermediate representation for all-to-all exchanges, generators that
-// compile algorithms into it, a static verifier that proves a schedule
-// correct before it ever runs, and an executor that runs any verified
-// schedule over comm.Comm on both substrates.
+// intermediate representation for collective exchanges (all-to-all,
+// alltoallv, reduce-scatter, allreduce), generators that compile
+// algorithms into it, a static verifier that proves a schedule correct
+// before it ever runs, and an executor that runs any verified schedule
+// over comm.Comm on both substrates.
 //
 // The paper's algorithms (pairwise, Bruck, node-aware aggregation) are
 // hand-coded message loops, but they are all instances of one thing: a
@@ -21,8 +22,11 @@
 // per rank. All offsets and lengths are in block units (the per-rank-pair
 // block of MPI_Alltoall), so one schedule serves every message size.
 // Steps reference three kinds of buffer space: the user send buffer
-// (SpaceSend, Ranks blocks), the user recv buffer (SpaceRecv, Ranks
-// blocks), and per-rank scratch spaces declared by Schedule.Scratch.
+// (SpaceSend), the user recv buffer (SpaceRecv), and per-rank scratch
+// spaces declared by Schedule.Scratch. User-space sizes depend on the
+// collective (Schedule.SpaceSizeRank): Ranks blocks each for all-to-all,
+// a single recv block for reduce-scatter, per-pair count prefix sums for
+// alltoallv.
 //
 // # Execution semantics (the round discipline)
 //
@@ -50,10 +54,64 @@ import (
 	"alltoallx/internal/artifact"
 )
 
-// FormatVersion is the on-disk JSON format version Encode writes and
-// Decode accepts. Bump on incompatible IR changes; Decode rejects other
-// versions rather than silently executing a stale schedule.
-const FormatVersion = 1
+// FormatVersion is the on-disk JSON format version Encode writes. Bump
+// on incompatible IR changes; Decode rejects unknown versions rather
+// than silently executing a stale schedule. Version 2 added the
+// collective kind, the reduction operator label and per-pair block
+// counts; version-1 artifacts (plain all-to-all schedules) decode
+// unchanged, since every added field defaults to the all-to-all
+// reading.
+const FormatVersion = 2
+
+// formatReadable reports whether this build can read an artifact of the
+// given format version.
+func formatReadable(f int) bool { return f == 1 || f == FormatVersion }
+
+// Coll names the collective a schedule implements. The zero value
+// (empty string, omitted in JSON) reads as CollAlltoall so version-1
+// artifacts keep their meaning.
+type Coll string
+
+// The collectives the IR can express.
+const (
+	// CollAlltoall: send space holds Ranks blocks (one per destination),
+	// recv space holds Ranks blocks (one per source), every (src, dst)
+	// block delivered exactly once.
+	CollAlltoall Coll = "alltoall"
+	// CollReduceScatter: send space holds Ranks blocks (this rank's
+	// contribution to every destination), recv space holds 1 block that
+	// must end as the reduction of every rank's contribution for this
+	// rank — each contribution entering exactly once.
+	CollReduceScatter Coll = "reduce-scatter"
+	// CollAllreduce: send space holds Ranks blocks (the input vector
+	// split into Ranks blocks), recv space holds Ranks blocks, and every
+	// recv block b must end as the reduction of every rank's block b.
+	CollAllreduce Coll = "allreduce"
+	// CollAlltoallv: like CollAlltoall with per-pair block counts
+	// (Schedule.Counts): rank s sends Counts[s][d] blocks to rank d.
+	// Send space is packed by destination, recv space by source, both
+	// with prefix-sum displacements.
+	CollAlltoallv Coll = "alltoallv"
+)
+
+// valid reports whether c is a known collective kind.
+func (c Coll) valid() bool {
+	switch c {
+	case CollAlltoall, CollReduceScatter, CollAllreduce, CollAlltoallv:
+		return true
+	}
+	return false
+}
+
+// reduction reports whether the collective combines data with an
+// operator (and so may contain Reduce steps).
+func (c Coll) reduction() bool { return c == CollReduceScatter || c == CollAllreduce }
+
+// OpAny is the operator label of the bundled reduction generators: their
+// schedules are valid for any associative, commutative operator, so the
+// label constrains consistency (every Reduce step must carry the
+// schedule's label), not the executor's choice of operator.
+const OpAny = "any"
 
 // Buffer spaces a Ref can address. Scratch space i has id SpaceScratch+i.
 const (
@@ -81,9 +139,12 @@ const (
 	SendRecv Kind = "sendrecv"
 	// Copy moves Src to Dst within this rank's buffers (equal lengths).
 	Copy Kind = "copy"
-	// Reduce is reserved for reduction schedules (reduce-scatter,
-	// allreduce): combine Src into Dst with an operator. The all-to-all
-	// verifier and executor reject it until those schedules exist.
+	// Reduce combines Src into Dst within this rank's buffers:
+	// Dst = Dst op Src, elementwise over equal-length refs, using the
+	// operator the schedule is labeled with (Step.Op must equal
+	// Schedule.Op; the verifier rejects a mismatch). Reduce steps are
+	// only legal in reduction schedules (reduce-scatter, allreduce); the
+	// executor runs them with the operator installed via Exec.SetOp.
 	Reduce Kind = "reduce"
 )
 
@@ -115,13 +176,17 @@ func (r Ref) String() string { return fmt.Sprintf("[%d %d+%d]", r.Buf, r.Off, r.
 
 // Step is one action of one rank within a round. Which fields are
 // meaningful depends on Kind: Send uses To/Src, Recv uses From/Dst,
-// SendRecv all four, Copy uses Src/Dst.
+// SendRecv all four, Copy uses Src/Dst, Reduce uses Src/Dst/Op.
 type Step struct {
 	Kind Kind `json:"k"`
 	To   int  `json:"t,omitempty"`
 	From int  `json:"f,omitempty"`
 	Src  Ref  `json:"s"`
 	Dst  Ref  `json:"d"`
+	// Op is the operator label of a Reduce step; it must match the
+	// schedule's Op (per-step so a spliced or hand-edited artifact cannot
+	// silently combine under the wrong operator).
+	Op string `json:"o,omitempty"`
 }
 
 // Round is one synchronization unit of the schedule: Steps[r] is rank r's
@@ -130,8 +195,8 @@ type Round struct {
 	Steps [][]Step `json:"steps"`
 }
 
-// Schedule is a complete per-rank communication schedule for an
-// all-to-all over Ranks ranks.
+// Schedule is a complete per-rank communication schedule for a
+// collective over Ranks ranks.
 type Schedule struct {
 	// Format is the IR format version (FormatVersion).
 	Format int `json:"format"`
@@ -139,6 +204,17 @@ type Schedule struct {
 	Name string `json:"name"`
 	// Ranks is the world size the schedule is compiled for.
 	Ranks int `json:"ranks"`
+	// Coll is the collective the schedule implements; empty means
+	// CollAlltoall (the version-1 reading). Use Collective() to read it.
+	Coll Coll `json:"coll,omitempty"`
+	// Op is the reduction-operator label; required for (and only legal
+	// on) reduction collectives. The bundled generators emit OpAny.
+	Op string `json:"op,omitempty"`
+	// Counts are the per-pair block counts of an alltoallv schedule:
+	// Counts[s][d] blocks flow from rank s to rank d. Required for (and
+	// only legal on) CollAlltoallv; send/recv spaces are packed by
+	// prefix sums of rows/columns.
+	Counts [][]int `json:"counts,omitempty"`
 	// Scratch declares per-rank scratch spaces: Scratch[i] is the size in
 	// blocks of space SpaceScratch+i. Every rank gets its own copy.
 	Scratch []int `json:"scratch,omitempty"`
@@ -146,10 +222,73 @@ type Schedule struct {
 	Rounds []Round `json:"rounds"`
 }
 
-// SpaceSize returns the size in blocks of a buffer space id, or -1 for an
-// unknown space.
+// Collective returns the schedule's collective kind, reading the empty
+// (version-1) value as CollAlltoall.
+func (s *Schedule) Collective() Coll {
+	if s.Coll == "" {
+		return CollAlltoall
+	}
+	return s.Coll
+}
+
+// SpaceSize returns the size in blocks of a buffer space id for rank 0,
+// or -1 for an unknown space. For collectives whose user-space sizes are
+// uniform across ranks (everything but alltoallv) this is the per-rank
+// size; use SpaceSizeRank when counts vary.
 func (s *Schedule) SpaceSize(buf int) int {
-	return spaceSize(s.Ranks, s.Scratch, buf)
+	return s.SpaceSizeRank(0, buf)
+}
+
+// SpaceSizeRank returns the size in blocks of a buffer space id as seen
+// by one rank, or -1 for an unknown space. Send and recv sizes depend on
+// the collective: alltoall uses Ranks blocks on both sides,
+// reduce-scatter receives a single block, allreduce uses Ranks blocks on
+// both sides, and alltoallv packs Counts row/column sums.
+func (s *Schedule) SpaceSizeRank(rank, buf int) int {
+	switch buf {
+	case SpaceSend:
+		if s.Collective() == CollAlltoallv {
+			return sumCounts(countsRow(s.Counts, rank))
+		}
+		return s.Ranks
+	case SpaceRecv:
+		switch s.Collective() {
+		case CollReduceScatter:
+			return 1
+		case CollAlltoallv:
+			return sumCounts(countsCol(s.Counts, rank))
+		}
+		return s.Ranks
+	}
+	if i := buf - SpaceScratch; i >= 0 && i < len(s.Scratch) {
+		return s.Scratch[i]
+	}
+	return -1
+}
+
+func sumCounts(row []int) int {
+	t := 0
+	for _, n := range row {
+		t += n
+	}
+	return t
+}
+
+func countsRow(counts [][]int, rank int) []int {
+	if rank < 0 || rank >= len(counts) {
+		return nil
+	}
+	return counts[rank]
+}
+
+func countsCol(counts [][]int, rank int) []int {
+	col := make([]int, len(counts))
+	for s, row := range counts {
+		if rank >= 0 && rank < len(row) {
+			col[s] = row[rank]
+		}
+	}
+	return col
 }
 
 // Stats summarizes a schedule's cost structure.
@@ -164,6 +303,9 @@ type Stats struct {
 	// Copies and CopyBlocks count local Copy steps and the blocks they
 	// move (the schedule's repack cost).
 	Copies, CopyBlocks int
+	// Reduces and ReduceBlocks count Reduce steps and the blocks they
+	// combine (the schedule's compute cost).
+	Reduces, ReduceBlocks int
 	// MaxRoundMessages is the largest per-round message count.
 	MaxRoundMessages int
 	// ScratchBlocks is the per-rank scratch footprint in blocks.
@@ -187,6 +329,9 @@ func (s *Schedule) Stats() Stats {
 				case Copy:
 					st.Copies++
 					st.CopyBlocks += step.Src.N
+				case Reduce:
+					st.Reduces++
+					st.ReduceBlocks += step.Src.N
 				}
 			}
 		}
@@ -241,8 +386,8 @@ func Decode(r io.Reader) (*Schedule, error) {
 	if err := json.NewDecoder(r).Decode(&s); err != nil {
 		return nil, fmt.Errorf("sched: decoding schedule: %w", err)
 	}
-	if s.Format != FormatVersion {
-		return nil, fmt.Errorf("sched: schedule format %d, this build reads format %d — regenerate with a2asched gen", s.Format, FormatVersion)
+	if !formatReadable(s.Format) {
+		return nil, fmt.Errorf("sched: schedule format %d, this build reads formats 1-%d — regenerate with a2asched gen", s.Format, FormatVersion)
 	}
 	if s.Ranks <= 0 {
 		return nil, fmt.Errorf("sched: schedule has invalid rank count %d", s.Ranks)

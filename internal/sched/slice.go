@@ -39,10 +39,30 @@ type RankProgram struct {
 	Ranks int `json:"ranks"`
 	// Rank is the rank this program belongs to.
 	Rank int `json:"rank"`
+	// Coll is the collective the program implements; empty means
+	// CollAlltoall (the version-1 reading). Use Collective() to read it.
+	Coll Coll `json:"coll,omitempty"`
+	// Op is the reduction-operator label (Schedule.Op).
+	Op string `json:"op,omitempty"`
+	// VSend/VRecv are this rank's alltoallv count row and column:
+	// VSend[d] blocks go to rank d, VRecv[s] blocks arrive from rank s.
+	// Present only for CollAlltoallv — the slice of Schedule.Counts a
+	// rank needs (O(p), never the O(p^2) matrix).
+	VSend []int `json:"vsend,omitempty"`
+	VRecv []int `json:"vrecv,omitempty"`
 	// Scratch declares scratch spaces, identically to Schedule.Scratch.
 	Scratch []int `json:"scratch,omitempty"`
 	// Rounds[ri] is this rank's steps in round ri.
 	Rounds [][]Step `json:"rounds"`
+}
+
+// Collective returns the program's collective kind, reading the empty
+// (version-1) value as CollAlltoall.
+func (rp *RankProgram) Collective() Coll {
+	if rp.Coll == "" {
+		return CollAlltoall
+	}
+	return rp.Coll
 }
 
 // Slice extracts rank's program from an assembled schedule. The step
@@ -55,7 +75,12 @@ func Slice(s *Schedule, rank int) (*RankProgram, error) {
 	if rank < 0 || rank >= s.Ranks {
 		return nil, fmt.Errorf("sched: rank %d out of range for a %d-rank schedule", rank, s.Ranks)
 	}
-	rp := &RankProgram{Format: s.Format, Name: s.Name, Ranks: s.Ranks, Rank: rank, Scratch: s.Scratch}
+	rp := &RankProgram{Format: s.Format, Name: s.Name, Ranks: s.Ranks, Rank: rank,
+		Coll: s.Coll, Op: s.Op, Scratch: s.Scratch}
+	if s.Collective() == CollAlltoallv {
+		rp.VSend = countsRow(s.Counts, rank)
+		rp.VRecv = countsCol(s.Counts, rank)
+	}
 	for ri := range s.Rounds {
 		if rank >= len(s.Rounds[ri].Steps) {
 			return nil, fmt.Errorf("sched: round %d has only %d step lists, cannot slice rank %d", ri, len(s.Rounds[ri].Steps), rank)
@@ -66,18 +91,26 @@ func Slice(s *Schedule, rank int) (*RankProgram, error) {
 }
 
 // SpaceSize returns the size in blocks of a buffer space id, or -1 for an
-// unknown space (the same layout as the whole-world schedule).
+// unknown space (the same layout the whole-world schedule reports for
+// this rank via SpaceSizeRank).
 func (rp *RankProgram) SpaceSize(buf int) int {
-	return spaceSize(rp.Ranks, rp.Scratch, buf)
-}
-
-// spaceSize is the shared Schedule/RankProgram buffer-space layout.
-func spaceSize(ranks int, scratch []int, buf int) int {
-	switch {
-	case buf == SpaceSend || buf == SpaceRecv:
-		return ranks
-	case buf >= SpaceScratch && buf < SpaceScratch+len(scratch):
-		return scratch[buf-SpaceScratch]
+	switch buf {
+	case SpaceSend:
+		if rp.Collective() == CollAlltoallv {
+			return sumCounts(rp.VSend)
+		}
+		return rp.Ranks
+	case SpaceRecv:
+		switch rp.Collective() {
+		case CollReduceScatter:
+			return 1
+		case CollAlltoallv:
+			return sumCounts(rp.VRecv)
+		}
+		return rp.Ranks
+	}
+	if i := buf - SpaceScratch; i >= 0 && i < len(rp.Scratch) {
+		return rp.Scratch[i]
 	}
 	return -1
 }
@@ -100,6 +133,9 @@ func (rp *RankProgram) Stats() Stats {
 			case Copy:
 				st.Copies++
 				st.CopyBlocks += step.Src.N
+			case Reduce:
+				st.Reduces++
+				st.ReduceBlocks += step.Src.N
 			}
 		}
 		st.Messages += msgs
@@ -127,7 +163,8 @@ const stepBytes = 96
 // MemBytes estimates the program's in-memory footprint, for cache byte
 // accounting.
 func (rp *RankProgram) MemBytes() int64 {
-	return int64(rp.Steps())*stepBytes + int64(len(rp.Rounds))*24 + int64(len(rp.Scratch))*8 + 128
+	return int64(rp.Steps())*stepBytes + int64(len(rp.Rounds))*24 +
+		int64(len(rp.Scratch)+len(rp.VSend)+len(rp.VRecv))*8 + 128
 }
 
 // Steps returns the total step count of the schedule across all ranks.
@@ -168,8 +205,8 @@ func DecodeRank(r io.Reader) (*RankProgram, error) {
 	if err := json.NewDecoder(r).Decode(&rp); err != nil {
 		return nil, fmt.Errorf("sched: decoding rank program: %w", err)
 	}
-	if rp.Format != FormatVersion {
-		return nil, fmt.Errorf("sched: rank program format %d, this build reads format %d — regenerate with a2asched slice", rp.Format, FormatVersion)
+	if !formatReadable(rp.Format) {
+		return nil, fmt.Errorf("sched: rank program format %d, this build reads formats 1-%d — regenerate with a2asched slice", rp.Format, FormatVersion)
 	}
 	if rp.Ranks <= 0 {
 		return nil, fmt.Errorf("sched: rank program has invalid rank count %d", rp.Ranks)
@@ -189,26 +226,15 @@ func (rp *RankProgram) Save(path string) error {
 // rankGenerator compiles one rank's program directly.
 type rankGenerator func(p, rank int, m *topo.Mapping) (*RankProgram, error)
 
-// rankGenerators mirrors the generators registry, one sliced
-// implementation per generator. A test pins the two key sets equal.
-var rankGenerators = map[string]rankGenerator{
-	"direct":    directRank,
-	"pairwise":  pairwiseRank,
-	"bruck":     bruckRank,
-	"ring":      ringRank,
-	"torus":     torusRank,
-	"hypercube": hypercubeRank,
-}
-
 // GenerateRank compiles the named schedule's slice for one rank of a
 // p-rank world (m may be nil). The result is byte-identical to
 // Slice(Generate(name, p, m), rank) but costs O(slice): O(p) for
 // direct/pairwise, O(p log p) for bruck, and O(blocks routed through the
 // rank) for the route-compiled families — never O(p^2) memory.
 func GenerateRank(name string, p, rank int, m *topo.Mapping) (*RankProgram, error) {
-	g, ok := rankGenerators[name]
+	e, ok := genRegistry[name]
 	if !ok {
-		return nil, fmt.Errorf("sched: unknown generator %q (have %v)", name, Generators())
+		return nil, fmt.Errorf("sched: unknown generator %q (have %v)", name, AllGenerators())
 	}
 	if err := checkRanks(p); err != nil {
 		return nil, err
@@ -216,7 +242,7 @@ func GenerateRank(name string, p, rank int, m *topo.Mapping) (*RankProgram, erro
 	if rank < 0 || rank >= p {
 		return nil, fmt.Errorf("sched: rank %d out of range 0..%d", rank, p-1)
 	}
-	return g(p, rank, m)
+	return e.rank(p, rank, m)
 }
 
 // LoadRank reads the rank program at path (DecodeRank semantics:

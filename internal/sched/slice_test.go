@@ -23,18 +23,19 @@ func gridMapping(t *testing.T, nodes, ppn int) *topo.Mapping {
 	return m
 }
 
-// TestRankGeneratorsCoverRegistry pins the two registries to the same key
-// set: every generator must have a sliced implementation.
+// TestRankGeneratorsCoverRegistry pins every registry entry to a complete
+// pair of implementations: whole-world and rank-sliced.
 func TestRankGeneratorsCoverRegistry(t *testing.T) {
 	t.Parallel()
-	for name := range generators {
-		if _, ok := rankGenerators[name]; !ok {
+	for name, e := range genRegistry {
+		if e.whole == nil {
+			t.Errorf("generator %q has no whole-world implementation", name)
+		}
+		if e.rank == nil {
 			t.Errorf("generator %q has no rank-sliced implementation", name)
 		}
-	}
-	for name := range rankGenerators {
-		if _, ok := generators[name]; !ok {
-			t.Errorf("rank generator %q has no whole-world implementation", name)
+		if !e.coll.valid() {
+			t.Errorf("generator %q declares invalid collective %q", name, e.coll)
 		}
 	}
 }
@@ -322,7 +323,7 @@ func TestRankProgramJSONRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(got, rp) {
 		t.Fatalf("round trip differs:\n got %+v\nwant %+v", got, rp)
 	}
-	bad := bytes.Replace(buf.Bytes(), []byte(`"format": 1`), []byte(`"format": 9`), 1)
+	bad := bytes.Replace(buf.Bytes(), []byte(fmt.Sprintf(`"format": %d`, FormatVersion)), []byte(`"format": 99`), 1)
 	if _, err := DecodeRank(bytes.NewReader(bad)); err == nil {
 		t.Fatal("foreign format version accepted")
 	}

@@ -105,11 +105,11 @@ func TestVerifyRejectsCorruption(t *testing.T) {
 			wantErr: "unknown step kind",
 		},
 		{
-			name: "reserved reduce step",
+			name: "reduce step in a routing schedule",
 			corrupt: func(s *Schedule) {
 				s.Rounds[0].Steps[0][0].Kind = Reduce
 			},
-			wantErr: "reserved",
+			wantErr: "reduce step in a alltoall schedule",
 		},
 		{
 			name: "peer out of range",

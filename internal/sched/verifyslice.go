@@ -12,11 +12,14 @@ import (
 // can be proved from one rank slice at a time, in O(p) persistent memory:
 //
 //   - every local check of the full verifier, per slice: structure, refs
-//     in range, peers in range, no writes into the user send buffer, the
-//     same-round race rules (no read of received data, no overlapping
-//     writes, no copy over an issued send's buffer), no undefined reads,
-//     and — because a rank's recv buffer is written only by its own steps
-//     — the exactly-once delivery accounting for every recv slot, with
+//     in range (per-rank count sums for alltoallv), peers in range, no
+//     writes into the user send buffer, the same-round race rules (no
+//     read of received data, no overlapping writes, no copy over an
+//     issued send's buffer), no undefined reads, the reduction rules
+//     (Reduce only in reduction schedules, Step.Op matching the
+//     schedule's label, no locally detectable double contribution), and
+//     — because a rank's recv buffer is written only by its own steps —
+//     the exactly-once delivery accounting for every recv slot, with
 //     content checked whenever the written value is locally known;
 //   - cross-rank round pairing, incrementally: per round, the send and
 //     receive (from, to, length) multisets must agree. Each slice folds
@@ -24,13 +27,17 @@ import (
 //     accumulators; Finish compares them. Combined with the local
 //     duplicate checks this proves one message per ordered pair per round
 //     and deadlock-freedom under the round discipline, with multiset
-//     equality holding up to a 64-bit hash collision.
+//     equality holding up to a 64-bit hash collision. For alltoallv the
+//     same construction proves the per-pair count declarations
+//     consistent: every slice folds its VSend row and VRecv column into
+//     (src, dst, count) multiset fingerprints that must agree at Finish.
 //
 // What streaming cannot prove is that a multi-hop block arrives with the
-// right *content* (that needs cross-rank dataflow). Below core's slicing
-// threshold the full verifier remains authoritative, and property tests
-// pin GenerateRank byte-identical to Generate at randomized shapes — so
-// the content proof transfers to the sliced path by construction.
+// right *content*, or that a wire-carried partial is complete (both need
+// cross-rank dataflow). Below core's slicing threshold the full verifier
+// remains authoritative, and property tests pin GenerateRank
+// byte-identical to Generate at randomized shapes — so the content proof
+// transfers to the sliced path by construction.
 
 // VerifyRank runs every local check on one rank's program. It does not
 // prove cross-rank properties; stream all slices through a StreamVerifier
@@ -43,9 +50,13 @@ func VerifyRank(rp *RankProgram) error {
 	return sv.Add(rp)
 }
 
-// symbolic slot values beyond block ids: slotUndef marks never-written
-// slots, slotUnknown data that arrived over the wire (defined, but its
-// block identity is not locally derivable).
+// Symbolic slot values beyond locally known ones: slotUndef marks
+// never-written slots, slotUnknown data that arrived over the wire
+// (defined, but its identity is not locally derivable). Known values are
+// collective-specific: for the routing collectives, the local send-space
+// offset the data originated at (the self block/blocks — the only
+// content a slice can name); for the reductions, blk<<1|1 — a partial of
+// result block blk containing this rank's own contribution.
 const (
 	slotUndef   int64 = -1
 	slotUnknown int64 = -2
@@ -53,7 +64,8 @@ const (
 
 // msgHash folds one message's round, endpoints and length into a 64-bit
 // value; per-round sums of these are the commutative multiset
-// fingerprints Finish compares.
+// fingerprints Finish compares. The alltoallv count declarations reuse
+// it with ri = -1.
 func msgHash(ri, from, to, n int) uint64 {
 	x := uint64(ri)
 	for _, v := range [3]int{from, to, n} {
@@ -80,6 +92,8 @@ type roundAcc struct {
 type StreamVerifier struct {
 	p       int
 	name    string
+	coll    Coll
+	op      string
 	rounds  int
 	scratch []int
 	started bool
@@ -87,6 +101,10 @@ type StreamVerifier struct {
 	nseen   int
 	acc     []roundAcc
 	dead    []bool
+	// Alltoallv count-declaration fingerprints: every slice's VSend row
+	// and VRecv column must describe the same matrix.
+	vSendHash, vRecvHash     uint64
+	vSendBlocks, vRecvBlocks int
 }
 
 // NewStreamVerifier returns a verifier expecting the slices of a p-rank
@@ -99,7 +117,8 @@ func NewStreamVerifier(p int) *StreamVerifier {
 // neither expected nor accepted, surviving slices must not address them,
 // and the delivery accounting expects their blocks to stay undelivered.
 // This is how a repaired world (Repair) is proved — the surviving slices
-// must be a complete, consistent schedule among themselves.
+// must be a complete, consistent schedule among themselves. Repair is an
+// all-to-all facility; dead ranks in other collectives are rejected.
 func (sv *StreamVerifier) SetDead(dead ...int) error {
 	if sv.started {
 		return fmt.Errorf("sched: SetDead must precede the first Add")
@@ -122,6 +141,43 @@ func (sv *StreamVerifier) SetDead(dead ...int) error {
 
 // isDead reports whether rank r was marked dead via SetDead.
 func (sv *StreamVerifier) isDead(r int) bool { return sv.dead != nil && sv.dead[r] }
+
+// checkSliceHeader validates one slice's collective-describing fields.
+func checkSliceHeader(rp *RankProgram) error {
+	coll := rp.Collective()
+	if !coll.valid() {
+		return fmt.Errorf("sched: unknown collective %q", coll)
+	}
+	if coll.reduction() != (rp.Op != "") {
+		if rp.Op == "" {
+			return fmt.Errorf("sched: %s rank program must declare its operator label", coll)
+		}
+		return fmt.Errorf("sched: operator label %q on a non-reduction %s rank program", rp.Op, coll)
+	}
+	if coll == CollAlltoallv {
+		if len(rp.VSend) != rp.Ranks || len(rp.VRecv) != rp.Ranks {
+			return fmt.Errorf("sched: alltoallv rank program must declare %d-entry VSend and VRecv counts (have %d and %d)",
+				rp.Ranks, len(rp.VSend), len(rp.VRecv))
+		}
+		for d, n := range rp.VSend {
+			if n < 0 {
+				return fmt.Errorf("sched: negative count %d for pair %d->%d", n, rp.Rank, d)
+			}
+		}
+		for s, n := range rp.VRecv {
+			if n < 0 {
+				return fmt.Errorf("sched: negative count %d for pair %d->%d", n, s, rp.Rank)
+			}
+		}
+		if rp.VSend[rp.Rank] != rp.VRecv[rp.Rank] {
+			return fmt.Errorf("sched: rank %d declares self count %d in VSend but %d in VRecv",
+				rp.Rank, rp.VSend[rp.Rank], rp.VRecv[rp.Rank])
+		}
+	} else if rp.VSend != nil || rp.VRecv != nil {
+		return fmt.Errorf("sched: per-pair counts on a non-alltoallv %s rank program", coll)
+	}
+	return nil
+}
 
 // Add verifies one rank's slice locally and folds its cross-rank
 // fingerprints into the stream state.
@@ -150,15 +206,29 @@ func (sv *StreamVerifier) Add(rp *RankProgram) error {
 			return fmt.Errorf("sched: scratch space %d has non-positive size %d", i, sz)
 		}
 	}
+	if err := checkSliceHeader(rp); err != nil {
+		return err
+	}
+	if sv.dead != nil && rp.Collective() != CollAlltoall {
+		return fmt.Errorf("sched: dead-rank verification applies to all-to-all schedules, not %s", rp.Collective())
+	}
 	if !sv.started {
 		sv.started = true
 		sv.name = rp.Name
+		sv.coll = rp.Collective()
+		sv.op = rp.Op
 		sv.rounds = len(rp.Rounds)
 		sv.scratch = append([]int(nil), rp.Scratch...)
 		sv.acc = make([]roundAcc, sv.rounds)
 	} else {
 		if rp.Name != sv.name {
 			return fmt.Errorf("sched: rank %d program is %q, stream carries %q", rp.Rank, rp.Name, sv.name)
+		}
+		if rp.Collective() != sv.coll {
+			return fmt.Errorf("sched: rank %d program is a %s, stream carries %s", rp.Rank, rp.Collective(), sv.coll)
+		}
+		if rp.Op != sv.op {
+			return fmt.Errorf("sched: rank %d program declares operator %q, stream carries %q", rp.Rank, rp.Op, sv.op)
 		}
 		if len(rp.Rounds) != sv.rounds {
 			return fmt.Errorf("sched: rank %d program has %d rounds, stream carries %d", rp.Rank, len(rp.Rounds), sv.rounds)
@@ -170,6 +240,16 @@ func (sv *StreamVerifier) Add(rp *RankProgram) error {
 			if sz != sv.scratch[i] {
 				return fmt.Errorf("sched: rank %d scratch space %d has size %d, stream carries %d", rp.Rank, i, sz, sv.scratch[i])
 			}
+		}
+	}
+	if rp.Collective() == CollAlltoallv {
+		for d, n := range rp.VSend {
+			sv.vSendHash += msgHash(-1, rp.Rank, d, n)
+			sv.vSendBlocks += n
+		}
+		for s, n := range rp.VRecv {
+			sv.vRecvHash += msgHash(-1, s, rp.Rank, n)
+			sv.vRecvBlocks += n
 		}
 	}
 	if err := sv.walk(rp); err != nil {
@@ -185,11 +265,20 @@ func (sv *StreamVerifier) Add(rp *RankProgram) error {
 // stamps, all keyed sparsely so memory stays O(touched slots).
 type sliceState struct {
 	rp        *RankProgram
+	coll      Coll
+	reduction bool
+	sendSize  int
 	recvVal   []int64         // recv-space slot values
 	recvCount []uint8         // recv-space writes, must end at exactly 1
 	scratch   map[int64]int64 // scratch slot -> value
 	recvStamp map[int64]int   // slot -> round a receive writes it
 	readStamp map[int64]int   // slot -> round an issued send reads it
+	// selfRowOff/selfColOff/selfCount locate the self message in the
+	// packed routing layouts: this rank's own blocks occupy send offsets
+	// [selfRowOff, selfRowOff+selfCount) and must land at recv offsets
+	// [selfColOff, selfColOff+selfCount). (For alltoall both offsets are
+	// the rank and the count is 1.)
+	selfRowOff, selfColOff, selfCount int
 	// fromSeen/toSeen detect duplicate per-round peers, stamped by
 	// round+1 so one allocation serves every round of the slice.
 	fromSeen, toSeen []int32
@@ -217,9 +306,14 @@ func (st *sliceState) checkRef(ref Ref, where string) error {
 func (st *sliceState) read(buf, off int) int64 {
 	switch buf {
 	case SpaceSend:
-		// The send buffer is read-only and pre-filled: slot d holds block
-		// (rank -> d).
-		return int64(st.rp.Rank)*int64(st.rp.Ranks) + int64(off)
+		// The send buffer is read-only and pre-filled. Routing: slot off
+		// holds the block this rank sends from offset off. Reduction:
+		// slot off holds this rank's own contribution to result block
+		// off.
+		if st.reduction {
+			return int64(off)<<1 | 1
+		}
+		return int64(off)
 	case SpaceRecv:
 		return st.recvVal[off]
 	}
@@ -238,9 +332,21 @@ func (st *sliceState) write(buf, off int, val int64, where string) error {
 		if st.recvCount[off] > 1 {
 			return fmt.Errorf("%s: recv block %d of rank %d written more than once (block delivered twice)", where, off, st.rp.Rank)
 		}
-		if want := int64(off)*int64(st.rp.Ranks) + int64(st.rp.Rank); val >= 0 && val != want {
-			return fmt.Errorf("%s: recv block %d of rank %d receives block (%d->%d), want (%d->%d)",
-				where, off, st.rp.Rank, val/int64(st.rp.Ranks), val%int64(st.rp.Ranks), off, st.rp.Rank)
+		if val >= 0 {
+			if st.reduction {
+				blk := int(val >> 1)
+				want := st.rp.Rank // reduce-scatter: the single recv block is this rank's result
+				if st.coll == CollAllreduce {
+					want = off
+				}
+				if blk != want {
+					return fmt.Errorf("%s: recv block %d of rank %d receives the result of block %d, want %d", where, off, st.rp.Rank, blk, want)
+				}
+			} else if val-int64(st.selfRowOff) != int64(off-st.selfColOff) ||
+				val < int64(st.selfRowOff) || val >= int64(st.selfRowOff+st.selfCount) {
+				return fmt.Errorf("%s: recv block %d of rank %d receives own send block %d, which belongs at %d",
+					where, off, st.rp.Rank, val, int64(st.selfColOff)+val-int64(st.selfRowOff))
+			}
 		}
 		st.recvVal[off] = val
 		return nil
@@ -254,15 +360,31 @@ func (st *sliceState) write(buf, off int, val int64, where string) error {
 // cross-rank fingerprints.
 func (sv *StreamVerifier) walk(rp *RankProgram) error {
 	p, r := sv.p, rp.Rank
+	recvSize := rp.SpaceSize(SpaceRecv)
 	st := &sliceState{
 		rp:        rp,
-		recvVal:   make([]int64, p),
-		recvCount: make([]uint8, p),
+		coll:      rp.Collective(),
+		reduction: rp.Collective().reduction(),
+		sendSize:  rp.SpaceSize(SpaceSend),
+		recvVal:   make([]int64, recvSize),
+		recvCount: make([]uint8, recvSize),
 		scratch:   make(map[int64]int64),
 		recvStamp: make(map[int64]int),
 		readStamp: make(map[int64]int),
 		fromSeen:  make([]int32, p),
 		toSeen:    make([]int32, p),
+	}
+	switch st.coll {
+	case CollAlltoallv:
+		for d := 0; d < r; d++ {
+			st.selfRowOff += rp.VSend[d]
+		}
+		for s := 0; s < r; s++ {
+			st.selfColOff += rp.VRecv[s]
+		}
+		st.selfCount = rp.VSend[r]
+	default:
+		st.selfRowOff, st.selfColOff, st.selfCount = r, r, 1
 	}
 	for i := range st.recvVal {
 		st.recvVal[i] = slotUndef
@@ -312,11 +434,11 @@ func (sv *StreamVerifier) walk(rp *RankProgram) error {
 			sv.acc[ri].recvHash += msgHash(ri, step.From, r, step.Dst.N)
 		}
 
-		// Pass 2: copies and sends in step order.
+		// Pass 2: copies, reduces and sends in step order.
 		for si, step := range steps {
 			where := fmt.Sprintf("sched: round %d rank %d step %d (%s)", ri, r, si, step.Kind)
 			switch step.Kind {
-			case Copy:
+			case Copy, Reduce:
 				if err := st.checkRef(step.Src, where+" src"); err != nil {
 					return err
 				}
@@ -331,6 +453,14 @@ func (sv *StreamVerifier) walk(rp *RankProgram) error {
 				}
 				if step.Src.Buf == step.Dst.Buf && step.Src.Off < step.Dst.Off+step.Dst.N && step.Dst.Off < step.Src.Off+step.Src.N {
 					return fmt.Errorf("%s: src %v and dst %v overlap", where, step.Src, step.Dst)
+				}
+				if step.Kind == Reduce {
+					if !st.reduction {
+						return fmt.Errorf("%s: reduce step in a %s schedule", where, st.coll)
+					}
+					if step.Op != rp.Op {
+						return fmt.Errorf("%s: operator %q does not match the schedule's %q", where, step.Op, rp.Op)
+					}
 				}
 				for k := 0; k < step.Src.N; k++ {
 					skey := slotKey(step.Src.Buf, step.Src.Off+k)
@@ -347,6 +477,27 @@ func (sv *StreamVerifier) walk(rp *RankProgram) error {
 					val := st.read(step.Src.Buf, step.Src.Off+k)
 					if val == slotUndef {
 						return fmt.Errorf("%s: reads undefined data at slot %d", where, step.Src.Off+k)
+					}
+					if step.Kind == Reduce {
+						dval := st.read(step.Dst.Buf, step.Dst.Off+k)
+						if dval == slotUndef {
+							return fmt.Errorf("%s: reduces into undefined data at slot %d", where, step.Dst.Off+k)
+						}
+						sKnown, dKnown := val >= 0, dval >= 0
+						if sKnown && dKnown && val>>1 != dval>>1 {
+							return fmt.Errorf("%s: reduces a partial of block %d into a partial of block %d", where, val>>1, dval>>1)
+						}
+						if sKnown && dKnown && val&1 == 1 && dval&1 == 1 {
+							return fmt.Errorf("%s: contribution of rank %d to block %d would enter twice (double contribution)", where, r, val>>1)
+						}
+						switch {
+						case sKnown:
+							// keep val: the combined partial carries the known block
+						case dKnown:
+							val = dval
+						default:
+							val = slotUnknown
+						}
 					}
 					if err := st.write(step.Dst.Buf, step.Dst.Off+k, val, where); err != nil {
 						return err
@@ -381,8 +532,6 @@ func (sv *StreamVerifier) walk(rp *RankProgram) error {
 				sv.acc[ri].sendHash += msgHash(ri, r, step.To, step.Src.N)
 			case Recv:
 				// Handled in pass 1.
-			case Reduce:
-				return fmt.Errorf("%s: reduce steps are reserved for future reduction schedules", where)
 			default:
 				return fmt.Errorf("%s: unknown step kind %q", where, step.Kind)
 			}
@@ -402,23 +551,32 @@ func (sv *StreamVerifier) walk(rp *RankProgram) error {
 
 	// Delivery accounting: every recv slot of this rank written exactly
 	// once (content was checked at write time whenever locally known) —
-	// except slots of dead sources, which must stay empty.
-	for d := 0; d < p; d++ {
-		if sv.isDead(d) {
+	// except, for repaired all-to-all worlds, slots of dead sources,
+	// which must stay empty.
+	for d := 0; d < recvSize; d++ {
+		if st.coll == CollAlltoall && sv.isDead(d) {
 			if st.recvCount[d] != 0 {
 				return fmt.Errorf("sched: rank %d delivers block (%d->%d) of dead rank %d", r, d, r, d)
 			}
 			continue
 		}
 		if st.recvCount[d] != 1 {
-			return fmt.Errorf("sched: block (%d->%d) never delivered", d, r)
+			switch {
+			case st.reduction:
+				return fmt.Errorf("sched: result block %d of rank %d never produced", d, r)
+			case st.coll == CollAlltoall:
+				return fmt.Errorf("sched: block (%d->%d) never delivered", d, r)
+			default:
+				return fmt.Errorf("sched: recv block %d of rank %d never delivered", d, r)
+			}
 		}
 	}
 	return nil
 }
 
 // Finish checks the cross-rank properties once every slice has been
-// added: full coverage and, per round, matching send/receive multisets.
+// added: full coverage, per-round matching send/receive multisets, and
+// (alltoallv) consistent per-pair count declarations across slices.
 func (sv *StreamVerifier) Finish() error {
 	if sv.nseen != sv.p {
 		for r, ok := range sv.seen {
@@ -436,6 +594,14 @@ func (sv *StreamVerifier) Finish() error {
 		}
 		if a.sendHash != a.recvHash {
 			return fmt.Errorf("sched: round %d: send/receive (from, to, length) multisets differ (unmatched or mismatched message)", ri)
+		}
+	}
+	if sv.coll == CollAlltoallv {
+		if sv.vSendBlocks != sv.vRecvBlocks {
+			return fmt.Errorf("sched: alltoallv count declarations disagree: %d blocks declared sent but %d declared received", sv.vSendBlocks, sv.vRecvBlocks)
+		}
+		if sv.vSendHash != sv.vRecvHash {
+			return fmt.Errorf("sched: alltoallv count declarations disagree across slices (some pair's VSend and VRecv entries differ)")
 		}
 	}
 	return nil
