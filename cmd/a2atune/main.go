@@ -8,21 +8,34 @@
 // default) or alltoallv (variable-size; sizes then mean the average
 // payload per peer of the skewed benchmark workload).
 //
+// Two sweep modes:
+//
+//   - full sweep (default): every candidate is simulated at every size;
+//   - predictive (-predict): the full pool is simulated only on a small
+//     probe grid, per-candidate cost models are fitted (log-log
+//     regression, internal/costmodel), and the remaining sizes measure
+//     just the predicted front-runners — plus everyone near a predicted
+//     winner crossover. Typically >60% fewer simulations for the same
+//     winners; -models persists the fitted model set.
+//
 // Examples:
 //
 //	go run ./cmd/a2atune -machine Dane -nodes 32 -ppn 112 -sizes 4,64,1024,4096
 //	go run ./cmd/a2atune -machine Dane -nodes 8 -ppn 16 -grid 4:65536 -o table.json
+//	go run ./cmd/a2atune -predict -grid 4:65536 -maxranks 64 -v -o table.json -models models.json
 //	go run ./cmd/a2atune -op alltoallv -nodes 8 -ppn 16 -grid 4:4096 -o vtable.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"slices"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"alltoallx/internal/autotune"
 	"alltoallx/internal/core"
@@ -31,15 +44,19 @@ import (
 
 func main() {
 	var (
-		machine = flag.String("machine", "Dane", "machine model: "+strings.Join(netmodel.Names(), ", "))
-		nodes   = flag.Int("nodes", 8, "node count")
-		ppn     = flag.Int("ppn", 0, "ranks per node (0 = all cores)")
-		opName  = flag.String("op", "alltoall", "collective to tune: alltoall or alltoallv")
-		sizes   = flag.String("sizes", "4,64,1024,4096", "comma-separated block sizes in bytes")
-		grid    = flag.String("grid", "", "doubling size grid min:max in bytes (overrides -sizes)")
-		runs    = flag.Int("runs", 2, "runs per candidate (minimum kept)")
-		full    = flag.Bool("ranking", false, "print the full ranking per size, not just the winner")
-		out     = flag.String("o", "", "write the winners as a JSON dispatch table to this path")
+		machine  = flag.String("machine", "Dane", "machine model: "+strings.Join(netmodel.Names(), ", "))
+		nodes    = flag.Int("nodes", 8, "node count")
+		ppn      = flag.Int("ppn", 0, "ranks per node (0 = all cores)")
+		opName   = flag.String("op", "alltoall", "collective to tune: alltoall or alltoallv")
+		sizes    = flag.String("sizes", "4,64,1024,4096", "comma-separated block sizes in bytes")
+		grid     = flag.String("grid", "", "doubling size grid min:max in bytes (overrides -sizes)")
+		runs     = flag.Int("runs", 2, "runs per candidate (minimum kept)")
+		full     = flag.Bool("ranking", false, "print the full ranking per size, not just the winner (full sweep only)")
+		predict  = flag.Bool("predict", false, "cost-model-pruned sweep: probe, fit, measure only near predicted crossovers")
+		models   = flag.String("models", "", "with -predict: write the fitted cost-model set as JSON to this path")
+		verbose  = flag.Bool("v", false, "print the sweep summary: measured vs pruned points, fitted models, crossovers")
+		maxranks = flag.Int("maxranks", 0, "cap the tuned world at this many ranks, shrinking ppn/nodes to fit (0 = no cap; for smoke runs)")
+		out      = flag.String("o", "", "write the winners as a JSON dispatch table to this path")
 	)
 	flag.Parse()
 
@@ -55,30 +72,112 @@ func main() {
 	if p == 0 {
 		p = m.Node.CoresPerNode()
 	}
+	n := *nodes
+	if *maxranks > 0 && n*p > *maxranks {
+		// Shrink to fit: ppn clamps to 8 (keeps the divisor-based leader
+		// candidates in the pool), then nodes to whatever the cap allows.
+		if p > 8 {
+			p = 8
+		}
+		if n*p > *maxranks {
+			n = *maxranks / p
+			if n < 1 {
+				n, p = 1, *maxranks
+			}
+		}
+		fmt.Fprintf(os.Stderr, "a2atune: -maxranks %d: tuning a %d nodes x %d ranks world\n", *maxranks, n, p)
+	}
 	sz, err := sizeList(*sizes, *grid)
 	if err != nil {
 		fatal(err)
 	}
-	cands := autotune.DefaultCandidates(op, *nodes, p)
-	fmt.Printf("tuning %s on %s: %d nodes x %d ranks, %d candidates x %d sizes\n",
-		op, m.Name, *nodes, p, len(cands), len(sz))
-	// Assemble the table directly from the winners printed below, so each
-	// (candidate, size) point is simulated exactly once whether or not the
-	// table is written.
-	table := &autotune.Table{Version: autotune.TableVersion, Machine: m.Name, Nodes: *nodes, PPN: p, Op: op}
-	for _, s := range sz {
-		best, ranking, err := autotune.Select(m, op, *nodes, p, s, cands, *runs, 1)
+	if *full && *predict {
+		fatal(fmt.Errorf("-ranking needs every candidate measured at every size; drop it or drop -predict"))
+	}
+	if *models != "" && !*predict {
+		fatal(fmt.Errorf("-models requires -predict (the full sweep fits no models)"))
+	}
+	cands := autotune.DefaultCandidates(op, n, p)
+	mode := "full sweep"
+	if *predict {
+		mode = "predictive sweep"
+	}
+	fmt.Printf("tuning %s on %s: %d nodes x %d ranks, %d candidates x %d sizes (%s)\n",
+		op, m.Name, n, p, len(cands), len(sz), mode)
+
+	// Per-candidate progress goes to stderr with elapsed time, so long
+	// sweeps (minutes per point at scale) are visibly alive while stdout
+	// stays a clean winners report.
+	start := time.Now()
+	progress := func(line string) {
+		fmt.Fprintf(os.Stderr, "[%7.1fs] %s\n", time.Since(start).Seconds(), line)
+	}
+
+	var table *autotune.Table
+	measured, total := 0, len(cands)*len(sz)
+	if *predict {
+		pred, err := autotune.BuildTablePredictive(m, op, n, p, sz, cands, *runs, 1, progress)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%6d B: %-30s %.4e s\n", s, best.Name, best.Seconds)
-		if *full {
-			for _, ch := range ranking[1:] {
-				fmt.Printf("         %-30s %.4e s\n", ch.Name, ch.Seconds)
+		table, measured = pred.Table, pred.Measured
+		for _, e := range table.Entries {
+			fmt.Printf("%6d B: %-30s %.4e s\n", e.Size, e.Name, e.Seconds)
+		}
+		if *verbose {
+			fmt.Printf("\nmeasured %d of %d points (%d pruned, %.0f%%), dense at %v\n",
+				pred.Measured, pred.Full, pred.Pruned(), 100*float64(pred.Pruned())/float64(pred.Full), pred.Dense)
+			fmt.Printf("fitted models (probe grid %v, hash %s):\n", pred.Models.ProbeSizes, pred.Models.Hash())
+			for _, md := range pred.Models.Models {
+				conf := ""
+				if md.LowConfidence() {
+					conf = "  [low R2: crossover reporting suppressed]"
+				}
+				fmt.Printf("  %-30s T(x) = %.3e * x^%.3f  (R2 %.4f)%s\n",
+					md.Name, math.Exp(md.Intercept), md.Slope, md.R2, conf)
+			}
+			lo, hi := float64(sz[0]), float64(sz[len(sz)-1])
+			if cross := pred.Models.Crossovers(lo, hi); len(cross) > 0 {
+				fmt.Println("predicted crossovers in range:")
+				for _, c := range cross {
+					fmt.Printf("  %8.0f B: %s <-> %s\n", c.X, c.A, c.B)
+				}
 			}
 		}
-		table.Entries = append(table.Entries, autotune.EntryFor(s, best))
+		if *models != "" {
+			if err := pred.Models.Save(*models); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote cost-model set (version %d, %d models) to %s\n",
+				pred.Models.Version, len(pred.Models.Models), *models)
+		}
+	} else {
+		// Assemble the table directly from the winners printed below, so
+		// each (candidate, size) point is simulated exactly once whether or
+		// not the table is written.
+		table = &autotune.Table{
+			Version: autotune.TableVersion, Machine: m.Name, Nodes: n, PPN: p, Op: op,
+			Provenance: &autotune.Provenance{Source: m.Name, Mode: "sweep"},
+		}
+		for _, s := range sz {
+			best, ranking, err := autotune.Select(m, op, n, p, s, cands, *runs, 1, progress)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%6d B: %-30s %.4e s\n", s, best.Name, best.Seconds)
+			if *full {
+				for _, ch := range ranking[1:] {
+					fmt.Printf("         %-30s %.4e s\n", ch.Name, ch.Seconds)
+				}
+			}
+			table.Entries = append(table.Entries, autotune.EntryFor(s, best))
+		}
+		measured = total
+		if *verbose {
+			fmt.Printf("\nmeasured %d of %d points (exhaustive; -predict prunes)\n", measured, total)
+		}
 	}
+	fmt.Fprintf(os.Stderr, "[%7.1fs] sweep done: %d simulations\n", time.Since(start).Seconds(), measured)
 	if *out == "" {
 		return
 	}

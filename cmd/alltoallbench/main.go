@@ -36,7 +36,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment ID (fig7..fig18, table1, headline, overlap, regress, scale, contention, repair) or 'all'")
+		experiment = flag.String("experiment", "all", "experiment ID (fig7..fig18, table1, headline, overlap, regress, scale, contention, repair, drift) or 'all'")
 		scaleName  = flag.String("scale", "quick", "reproduction scale: quick or full")
 		nodes      = flag.Int("nodes", 0, "override node count (0 = experiment default)")
 		ppn        = flag.Int("ppn", 0, "override ranks per node (0 = scale default)")
@@ -56,9 +56,9 @@ func main() {
 		blockSize = flag.Int("block", 4096,
 			"with -experiment overlap: block bytes per rank pair")
 		jsonPath = flag.String("json", "",
-			"with -experiment regress, scale, contention or repair: write the machine-readable output (BENCH_regress.json / BENCH_scale.json / BENCH_contention.json / BENCH_repair.json) to this path")
+			"with -experiment regress, scale, contention, repair or drift: write the machine-readable output (BENCH_regress.json / BENCH_scale.json / BENCH_contention.json / BENCH_repair.json / BENCH_drift.json) to this path")
 		maxRanks = flag.Int("maxranks", 0,
-			"with -experiment scale, contention or repair: cap the swept world size (0 = the experiment's full sweep; CI smoke uses 256)")
+			"with -experiment scale, contention, repair or drift: cap the swept world size (0 = the experiment's full sweep; CI smoke uses 256)")
 		schedRoot = flag.String("schedreg", "", "schedule-registry directory: resolve sched:* programs through it (compile-once across processes)")
 		schedd    = flag.String("schedd", "", "a2aschedd address: resolve sched:* programs through the daemon")
 	)
@@ -127,6 +127,21 @@ func main() {
 		}
 		return
 	}
+	if *experiment == "drift" {
+		if *tablePath != "" {
+			fatal(fmt.Errorf("-experiment drift and -table are mutually exclusive"))
+		}
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "op", "algo", "scale", "nodes", "ppn", "runs", "machine", "computefrac", "block":
+				fatal(fmt.Errorf("-%s does not apply to -experiment drift (the world, table, block size and machine shift are fixed so snapshots stay comparable)", f.Name))
+			}
+		})
+		if err := runDrift(*maxRanks, *jsonPath, progress); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *experiment == "contention" {
 		if *tablePath != "" {
 			fatal(fmt.Errorf("-experiment contention and -table are mutually exclusive"))
@@ -145,9 +160,9 @@ func main() {
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "json":
-			fatal(fmt.Errorf("-json only applies with -experiment regress, scale, contention or repair"))
+			fatal(fmt.Errorf("-json only applies with -experiment regress, scale, contention, repair or drift"))
 		case "maxranks":
-			fatal(fmt.Errorf("-maxranks only applies with -experiment scale, contention or repair"))
+			fatal(fmt.Errorf("-maxranks only applies with -experiment scale, contention, repair or drift"))
 		}
 	})
 
@@ -356,6 +371,27 @@ func runScale(maxRanks int, jsonPath string, progress func(string)) error {
 		return nil
 	}
 	if err := s.Save(jsonPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
+	return nil
+}
+
+// runDrift executes the machine-drift re-convergence experiment (the
+// tuned dispatcher in online refinement mode, before and after a NIC
+// parameter shift) and optionally persists the machine-readable snapshot.
+func runDrift(maxRanks int, jsonPath string, progress func(string)) error {
+	d, err := bench.RunDrift(maxRanks, progress)
+	if err != nil {
+		return err
+	}
+	if err := d.Format(os.Stdout); err != nil {
+		return err
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	if err := d.Save(jsonPath); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)

@@ -12,7 +12,13 @@
 // unified persistent-operation API: alltoall (fixed-size) or alltoallv
 // (variable-size, Zipf-skewed counts).
 //
-//	go run ./examples/autotune [-machine Dane] [-nodes 8] [-ppn 16] [-op alltoallv] [-o table.json]
+// With -predict the produce step runs the model-guided sweep instead of
+// the exhaustive one: every candidate is measured at a few probe sizes,
+// power-law cost models are fitted (internal/costmodel), and the
+// remaining sizes only measure candidates predicted competitive — same
+// winners, a fraction of the simulations.
+//
+//	go run ./examples/autotune [-machine Dane] [-nodes 8] [-ppn 16] [-op alltoallv] [-predict] [-o table.json]
 package main
 
 import (
@@ -35,17 +41,18 @@ func main() {
 		nodes   = flag.Int("nodes", 8, "node count")
 		ppn     = flag.Int("ppn", 16, "ranks per node")
 		opName  = flag.String("op", "alltoall", "collective to tune: alltoall or alltoallv")
+		predict = flag.Bool("predict", false, "model-guided sweep: fit cost models at probe sizes, measure only predicted contenders")
 		out     = flag.String("o", "", "table path (empty = a temp file, removed on exit)")
 	)
 	flag.Parse()
 	// run, not main, owns the logic: log.Fatal would skip the deferred
 	// temp-file cleanup.
-	if err := run(*machine, *nodes, *ppn, core.Op(*opName), *out); err != nil {
+	if err := run(*machine, *nodes, *ppn, core.Op(*opName), *predict, *out); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(machineName string, nodes, ppn int, op core.Op, out string) error {
+func run(machineName string, nodes, ppn int, op core.Op, predict bool, out string) error {
 	m, err := netmodel.ByName(machineName)
 	if err != nil {
 		return err
@@ -56,9 +63,23 @@ func run(machineName string, nodes, ppn int, op core.Op, out string) error {
 	cands := autotune.DefaultCandidates(op, nodes, ppn)
 	fmt.Printf("tuning %s on %s (%d nodes x %d ranks): %d candidates x %d sizes...\n",
 		op.Norm(), m.Name, nodes, ppn, len(cands), len(sizes))
-	table, err := autotune.BuildTable(m, op, nodes, ppn, sizes, cands, 2, 1)
-	if err != nil {
-		return err
+	var table *autotune.Table
+	if predict {
+		pred, err := autotune.BuildTablePredictive(m, op, nodes, ppn, sizes, cands, 2, 1, nil)
+		if err != nil {
+			return err
+		}
+		table = pred.Table
+		fmt.Printf("predictive sweep: %d of %d measurements (%d pruned by fitted cost models)\n",
+			pred.Measured, pred.Full, pred.Pruned())
+		for _, x := range pred.Models.Crossovers(float64(sizes[0]), float64(sizes[len(sizes)-1])) {
+			fmt.Printf("  predicted crossover: %s -> %s near %d B\n", x.A, x.B, int(x.X))
+		}
+	} else {
+		table, err = autotune.BuildTable(m, op, nodes, ppn, sizes, cands, 2, 1, nil)
+		if err != nil {
+			return err
+		}
 	}
 
 	// 2. Persist: save the table, then load it back as a deployed job would.

@@ -128,45 +128,76 @@ func DefaultCandidates(op core.Op, nodes, ppn int) []Candidate {
 	return cands
 }
 
+// measure simulates one (candidate, size) point — the unit both sweep
+// modes count when they report measured-vs-pruned totals.
+func measure(m netmodel.Params, op core.Op, nodes, ppn, block int, cand Candidate, runs int, seed int64) (float64, error) {
+	pt, err := bench.Measure(bench.Config{
+		Machine: m, Nodes: nodes, PPN: ppn, Op: op,
+		Algo: cand.Algo, Opts: cand.Opts, Block: block,
+		Runs: runs, BaseSeed: seed,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("autotune: candidate %s: %w", cand.Label(), err)
+	}
+	return pt.Seconds, nil
+}
+
 // Select evaluates every candidate for one (operation, configuration) and
 // returns the winner plus the full ranking (fastest first). For
 // OpAlltoallv, block is the mean payload per peer of the benchmark's
-// skewed count matrix.
-func Select(m netmodel.Params, op core.Op, nodes, ppn, block int, cands []Candidate, runs int, seed int64) (Choice, []Choice, error) {
+// skewed count matrix. progress, if non-nil, receives one line per
+// completed candidate (1024-rank sweeps spend minutes per point; silence
+// reads as a hang).
+func Select(m netmodel.Params, op core.Op, nodes, ppn, block int, cands []Candidate, runs int, seed int64, progress func(string)) (Choice, []Choice, error) {
 	if len(cands) == 0 {
 		return Choice{}, nil, fmt.Errorf("autotune: no candidates")
 	}
 	ranking := make([]Choice, 0, len(cands))
-	for _, cand := range cands {
-		pt, err := bench.Measure(bench.Config{
-			Machine: m, Nodes: nodes, PPN: ppn, Op: op,
-			Algo: cand.Algo, Opts: cand.Opts, Block: block,
-			Runs: runs, BaseSeed: seed,
-		})
+	for i, cand := range cands {
+		secs, err := measure(m, op, nodes, ppn, block, cand, runs, seed)
 		if err != nil {
-			return Choice{}, nil, fmt.Errorf("autotune: candidate %s: %w", cand.Label(), err)
+			return Choice{}, nil, err
 		}
-		ranking = append(ranking, Choice{Candidate: cand, Seconds: pt.Seconds})
+		if progress != nil {
+			progress(fmt.Sprintf("%6d B [%2d/%d] %-30s %.4e s", block, i+1, len(cands), cand.Label(), secs))
+		}
+		ranking = append(ranking, Choice{Candidate: cand, Seconds: secs})
 	}
 	sort.SliceStable(ranking, func(i, j int) bool { return ranking[i].Seconds < ranking[j].Seconds })
 	return ranking[0], ranking, nil
 }
 
-// BuildTable selects the winner at every size and assembles the results
-// into a persistable dispatch Table for the (machine, nodes, ppn, op)
-// world.
-func BuildTable(m netmodel.Params, op core.Op, nodes, ppn int, sizes []int, cands []Candidate, runs int, seed int64) (*Table, error) {
+// sortedSizes validates and normalizes a sweep's size grid.
+func sortedSizes(sizes []int) ([]int, error) {
 	if len(sizes) == 0 {
 		return nil, fmt.Errorf("autotune: no sizes")
 	}
 	sorted := append([]int(nil), sizes...)
 	sort.Ints(sorted)
-	t := &Table{Version: TableVersion, Machine: m.Name, Nodes: nodes, PPN: ppn, Op: op.Norm()}
 	for i, s := range sorted {
 		if s <= 0 || (i > 0 && s == sorted[i-1]) {
 			return nil, fmt.Errorf("autotune: sizes must be positive and distinct, got %v", sizes)
 		}
-		best, _, err := Select(m, op, nodes, ppn, s, cands, runs, seed)
+	}
+	return sorted, nil
+}
+
+// BuildTable selects the winner at every size by exhaustive measurement
+// and assembles the results into a persistable dispatch Table for the
+// (machine, nodes, ppn, op) world. progress, if non-nil, receives one
+// line per measured candidate. For a cost-model-pruned sweep that
+// measures a fraction of the points, see BuildTablePredictive.
+func BuildTable(m netmodel.Params, op core.Op, nodes, ppn int, sizes []int, cands []Candidate, runs int, seed int64, progress func(string)) (*Table, error) {
+	sorted, err := sortedSizes(sizes)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Version: TableVersion, Machine: m.Name, Nodes: nodes, PPN: ppn, Op: op.Norm(),
+		Provenance: &Provenance{Source: m.Name, Mode: "sweep"},
+	}
+	for _, s := range sorted {
+		best, _, err := Select(m, op, nodes, ppn, s, cands, runs, seed, progress)
 		if err != nil {
 			return nil, err
 		}

@@ -152,7 +152,7 @@ func TestSelectSweepsSchedules(t *testing.T) {
 		{Name: "sched:ring", Algo: "sched:ring"},
 		{Name: "sched:hypercube", Algo: "sched:hypercube"},
 	}
-	best, ranking, err := Select(m, core.OpAlltoall, 2, 8, 64, cands, 1, 1)
+	best, ranking, err := Select(m, core.OpAlltoall, 2, 8, 64, cands, 1, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +174,7 @@ func TestSelectRanksCandidates(t *testing.T) {
 		{Name: "hierarchical", Algo: "hierarchical"},
 		{Name: "mlna", Algo: "multileader-node-aware", Opts: core.Options{PPL: 2}},
 	}
-	best, ranking, err := Select(m, core.OpAlltoall, 4, 8, 512, cands, 1, 1)
+	best, ranking, err := Select(m, core.OpAlltoall, 4, 8, 512, cands, 1, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,11 +197,11 @@ func TestSelectRanksCandidates(t *testing.T) {
 func TestSelectErrors(t *testing.T) {
 	t.Parallel()
 	m := tinyDane()
-	if _, _, err := Select(m, core.OpAlltoall, 2, 8, 64, nil, 1, 1); err == nil {
+	if _, _, err := Select(m, core.OpAlltoall, 2, 8, 64, nil, 1, 1, nil); err == nil {
 		t.Error("empty candidates accepted")
 	}
 	bad := []Candidate{{Algo: "no-such"}}
-	if _, _, err := Select(m, core.OpAlltoall, 2, 8, 64, bad, 1, 1); err == nil {
+	if _, _, err := Select(m, core.OpAlltoall, 2, 8, 64, bad, 1, 1, nil); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
 }
@@ -213,7 +213,7 @@ func TestBuildTableAndPick(t *testing.T) {
 		{Name: "node-aware", Algo: "node-aware"},
 		{Name: "mlna", Algo: "multileader-node-aware", Opts: core.Options{PPL: 2}},
 	}
-	tbl, err := BuildTable(m, core.OpAlltoall, 4, 8, []int{1024, 16}, cands, 1, 1)
+	tbl, err := BuildTable(m, core.OpAlltoall, 4, 8, []int{1024, 16}, cands, 1, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,10 +236,10 @@ func TestBuildTableAndPick(t *testing.T) {
 	if got := tbl.Pick(1 << 20); got.Name != tbl.Entries[1].Name {
 		t.Errorf("Pick(big) = %v", got.Name)
 	}
-	if _, err := BuildTable(m, core.OpAlltoall, 4, 8, nil, cands, 1, 1); err == nil {
+	if _, err := BuildTable(m, core.OpAlltoall, 4, 8, nil, cands, 1, 1, nil); err == nil {
 		t.Error("empty sizes accepted")
 	}
-	if _, err := BuildTable(m, core.OpAlltoall, 4, 8, []int{16, 16}, cands, 1, 1); err == nil {
+	if _, err := BuildTable(m, core.OpAlltoall, 4, 8, []int{16, 16}, cands, 1, 1, nil); err == nil {
 		t.Error("duplicate sizes accepted")
 	}
 }

@@ -1,0 +1,242 @@
+package autotune
+
+import (
+	"fmt"
+	"math"
+
+	"alltoallx/internal/core"
+	"alltoallx/internal/costmodel"
+	"alltoallx/internal/netmodel"
+)
+
+// Predictive pruning: instead of measuring every (candidate, size) point,
+// the sweep measures a small probe grid, fits per-candidate cost models
+// (log-log regression, internal/costmodel), and lets the models decide
+// which points deserve measurement: every candidate near a predicted
+// winner crossover, only the predicted front-runners elsewhere. The
+// pruned points are the sweep's savings; the winners must match the
+// exhaustive sweep's (asserted by TestPredictiveMatchesFullSweep on the
+// committed fixture).
+
+const (
+	// predictProbes is the probe-grid size: enough points to see the
+	// latency-to-bandwidth bend of every candidate, few enough that
+	// probing stays a small fraction of the exhaustive sweep.
+	predictProbes = 3
+	// predictMargin keeps a candidate in a size's measured shortlist when
+	// its predicted time is within this factor of the predicted best —
+	// the model only prunes candidates it predicts to lose clearly.
+	predictMargin = 1.2
+)
+
+// Predictive is a completed cost-model-pruned sweep.
+type Predictive struct {
+	// Table is the assembled dispatch table (same shape a full sweep
+	// builds), with predictive provenance.
+	Table *Table
+	// Models is the fitted per-candidate cost-model set, a persistable
+	// artifact (a2atune -models).
+	Models *costmodel.Set
+	// Measured counts the (candidate, size) points actually simulated;
+	// Full is what the exhaustive sweep would have simulated. Pruned()
+	// is the difference.
+	Measured int
+	Full     int
+	// Dense lists the sizes measured with the complete candidate pool:
+	// the probe grid, plus any size whose shortlist widened to the whole
+	// pool (every candidate predicted within margin — a contested
+	// crossover neighborhood).
+	Dense []int
+}
+
+// Pruned returns the number of measurements the models saved.
+func (p *Predictive) Pruned() int { return p.Full - p.Measured }
+
+// probeIndices spreads k probe indices evenly over n grid positions,
+// always including both endpoints (extrapolating a power law outside the
+// probed range would let model error grow unbounded exactly where blocks
+// are largest). k >= n degenerates to every index.
+func probeIndices(n, k int) []int {
+	if k >= n {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	idx := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		j := (i*(n-1) + (k-1)/2) / (k - 1)
+		if len(idx) == 0 || idx[len(idx)-1] != j {
+			idx = append(idx, j)
+		}
+	}
+	return idx
+}
+
+// BuildTablePredictive assembles a dispatch table from a cost-model-pruned
+// sweep: probe, fit, then measure only where the models say the winner is
+// (or may be) decided. It returns the table, the fitted models, and the
+// measured-vs-pruned accounting. progress, if non-nil, receives one line
+// per measured candidate and one per pruning decision.
+func BuildTablePredictive(m netmodel.Params, op core.Op, nodes, ppn int, sizes []int, cands []Candidate, runs int, seed int64, progress func(string)) (*Predictive, error) {
+	sorted, err := sortedSizes(sizes)
+	if err != nil {
+		return nil, err
+	}
+	if len(sorted) < 2 {
+		return nil, fmt.Errorf("autotune: predictive sweep needs at least 2 sizes to fit models (got %d); use the full sweep", len(sorted))
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("autotune: no candidates")
+	}
+
+	// secs[si][ci] is the measured time, NaN while unmeasured.
+	secs := make([][]float64, len(sorted))
+	for si := range secs {
+		secs[si] = make([]float64, len(cands))
+		for ci := range secs[si] {
+			secs[si][ci] = math.NaN()
+		}
+	}
+	measured := 0
+	measureAt := func(si, ci int) error {
+		if !math.IsNaN(secs[si][ci]) {
+			return nil
+		}
+		s, err := measure(m, op, nodes, ppn, sorted[si], cands[ci], runs, seed)
+		if err != nil {
+			return err
+		}
+		secs[si][ci] = s
+		measured++
+		if progress != nil {
+			progress(fmt.Sprintf("%6d B [measure] %-30s %.4e s", sorted[si], cands[ci].Label(), s))
+		}
+		return nil
+	}
+
+	// 1. Probe: the full pool at a few spread sizes.
+	probes := probeIndices(len(sorted), predictProbes)
+	isProbe := make([]bool, len(sorted))
+	probeSizes := make([]int, len(probes))
+	for i, si := range probes {
+		isProbe[si] = true
+		probeSizes[i] = sorted[si]
+		for ci := range cands {
+			if err := measureAt(si, ci); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// 2. Fit one global model per candidate over the probe grid. The
+	// global fit carries the headline slope/intercept/R²; prediction for
+	// pruning interpolates between bracketing probes (a local two-point
+	// log-log fit), which tracks the latency-to-bandwidth bend a single
+	// line cannot.
+	set := &costmodel.Set{
+		Version: costmodel.SetVersion, Machine: m.Name, Op: string(op.Norm()),
+		Nodes: nodes, PPN: ppn, Runs: runs, Seed: seed, ProbeSizes: probeSizes,
+	}
+	for ci, cand := range cands {
+		xs := make([]float64, len(probes))
+		ys := make([]float64, len(probes))
+		for i, si := range probes {
+			xs[i], ys[i] = float64(sorted[si]), secs[si][ci]
+		}
+		fit, err := costmodel.FitPoints(xs, ys)
+		if err != nil {
+			return nil, fmt.Errorf("autotune: fitting %s: %w", cand.Label(), err)
+		}
+		set.Models = append(set.Models, costmodel.Model{Name: cand.Label(), Fit: fit})
+	}
+
+	// predict interpolates candidate ci's time at size index si from the
+	// bracketing probes (exact at probes).
+	predict := func(si, ci int) float64 {
+		if isProbe[si] {
+			return secs[si][ci]
+		}
+		// Bracket si between its nearest probes on each side (probes
+		// include both grid endpoints, so both always exist).
+		lo, hi := probes[0], probes[len(probes)-1]
+		for _, p := range probes {
+			if p < si {
+				lo = p
+			}
+			if p > si && p < hi {
+				hi = p
+			}
+		}
+		seg, err := costmodel.FitPoints(
+			[]float64{float64(sorted[lo]), float64(sorted[hi])},
+			[]float64{secs[lo][ci], secs[hi][ci]})
+		if err != nil {
+			// Bracketing probes are measured and distinct; a failed local
+			// fit means a non-positive timing, which Measure never returns.
+			return math.Inf(1)
+		}
+		return seg.Predict(float64(sorted[si]))
+	}
+
+	// 3. Measure the shortlist at every remaining size: the candidates
+	// whose predicted time sits within predictMargin of the predicted
+	// best. Near a crossover the contenders' predictions are nearly equal,
+	// so they all land inside the margin and the neighborhood is measured
+	// densely — the densification the models exist to target — while far
+	// from any crossover the clear predicted winner is often alone on the
+	// shortlist. The winner at every size is the measured minimum.
+	t := &Table{
+		Version: TableVersion, Machine: m.Name, Nodes: nodes, PPN: ppn, Op: op.Norm(),
+		Provenance: &Provenance{Source: m.Name, Mode: "predictive", ProbeSizes: probeSizes},
+	}
+	var denseSizes []int
+	for si, s := range sorted {
+		if !isProbe[si] {
+			bound := math.Inf(1)
+			for ci := range cands {
+				if p := predict(si, ci); p < bound {
+					bound = p
+				}
+			}
+			bound *= predictMargin
+			pruned := 0
+			for ci := range cands {
+				if predict(si, ci) <= bound {
+					if err := measureAt(si, ci); err != nil {
+						return nil, err
+					}
+				} else {
+					pruned++
+				}
+			}
+			if progress != nil && pruned > 0 {
+				progress(fmt.Sprintf("%6d B [prune]   %d of %d candidates predicted out (margin %.2fx)",
+					s, pruned, len(cands), predictMargin))
+			}
+		}
+		full := true
+		best, bestT := -1, math.Inf(1)
+		for ci := range cands {
+			v := secs[si][ci]
+			if math.IsNaN(v) {
+				full = false
+				continue
+			}
+			if v < bestT {
+				best, bestT = ci, v
+			}
+		}
+		if full {
+			denseSizes = append(denseSizes, s)
+		}
+		t.Entries = append(t.Entries, EntryFor(s, Choice{Candidate: cands[best], Seconds: bestT}))
+	}
+	t.Provenance.ModelHash = set.Hash()
+	return &Predictive{
+		Table: t, Models: set,
+		Measured: measured, Full: len(cands) * len(sorted),
+		Dense: denseSizes,
+	}, nil
+}

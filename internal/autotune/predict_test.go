@@ -1,0 +1,119 @@
+package autotune
+
+import (
+	"path/filepath"
+	"testing"
+
+	"alltoallx/internal/core"
+	"alltoallx/internal/costmodel"
+)
+
+// TestPredictiveMatchesFullSweep is the tentpole acceptance criterion: on
+// the committed fixture (Dane, 4 nodes x 8 ppn, doubling grid 4..64 KiB)
+// the predictive sweep must pick the same winner at every size as the
+// exhaustive sweep while running at least 60% fewer simulations.
+func TestPredictiveMatchesFullSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps the full candidate pool")
+	}
+	m := tinyDane()
+	const nodes, ppn, runs, seed = 4, 8, 1, 1
+	sizes := SizeGrid(4, 65536)
+	cands := DefaultCandidates(core.OpAlltoall, nodes, ppn)
+
+	full, err := BuildTable(m, core.OpAlltoall, nodes, ppn, sizes, cands, runs, seed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := BuildTablePredictive(m, core.OpAlltoall, nodes, ppn, sizes, cands, runs, seed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(pred.Table.Entries) != len(full.Entries) {
+		t.Fatalf("predictive table has %d entries, full sweep %d", len(pred.Table.Entries), len(full.Entries))
+	}
+	for i, e := range full.Entries {
+		if pe := pred.Table.Entries[i]; pe.Name != e.Name || pe.Size != e.Size {
+			t.Errorf("size %d B: predictive picked %s, full sweep %s", e.Size, pe.Name, e.Name)
+		}
+	}
+
+	if pred.Full != len(cands)*len(sizes) {
+		t.Errorf("Full = %d, want %d", pred.Full, len(cands)*len(sizes))
+	}
+	if limit := (pred.Full * 40) / 100; pred.Measured > limit {
+		t.Errorf("predictive sweep measured %d of %d points; acceptance requires <= %d (>= 60%% pruned)",
+			pred.Measured, pred.Full, limit)
+	}
+	t.Logf("measured %d of %d points (%d pruned), dense sizes %v",
+		pred.Measured, pred.Full, pred.Pruned(), pred.Dense)
+
+	// The provenance block ties the table to the models that pruned it.
+	prov := pred.Table.Provenance
+	if prov == nil || prov.Mode != "predictive" || prov.ModelHash != pred.Models.Hash() {
+		t.Fatalf("predictive provenance %+v does not reference model hash %s", prov, pred.Models.Hash())
+	}
+	if len(prov.ProbeSizes) != len(pred.Models.ProbeSizes) {
+		t.Errorf("provenance probe grid %v vs model set %v", prov.ProbeSizes, pred.Models.ProbeSizes)
+	}
+
+	// Both artifacts round-trip through disk.
+	dir := t.TempDir()
+	tpath, mpath := filepath.Join(dir, "table.json"), filepath.Join(dir, "models.json")
+	if err := pred.Table.Save(tpath); err != nil {
+		t.Fatal(err)
+	}
+	if err := pred.Models.Save(mpath); err != nil {
+		t.Fatal(err)
+	}
+	lt, err := Load(tpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt.Provenance == nil || lt.Provenance.ModelHash != prov.ModelHash {
+		t.Error("provenance lost across save/load")
+	}
+	lm, err := costmodel.Load(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm.Hash() != pred.Models.Hash() {
+		t.Error("model set hash changed across save/load")
+	}
+}
+
+// TestPredictiveValidation pins the error paths: predictive needs a grid
+// it can fit models on.
+func TestPredictiveValidation(t *testing.T) {
+	t.Parallel()
+	m := tinyDane()
+	cands := []Candidate{{Algo: "bruck"}}
+	if _, err := BuildTablePredictive(m, core.OpAlltoall, 2, 8, []int{64}, cands, 1, 1, nil); err == nil {
+		t.Error("single-size predictive sweep accepted (no model is fittable)")
+	}
+	if _, err := BuildTablePredictive(m, core.OpAlltoall, 2, 8, nil, cands, 1, 1, nil); err == nil {
+		t.Error("empty size grid accepted")
+	}
+	if _, err := BuildTablePredictive(m, core.OpAlltoall, 2, 8, []int{16, 256}, nil, 1, 1, nil); err == nil {
+		t.Error("empty candidate pool accepted")
+	}
+}
+
+// TestProbeIndices pins the probe-grid spread: endpoints always included,
+// k >= n degenerates to every index.
+func TestProbeIndices(t *testing.T) {
+	t.Parallel()
+	idx := probeIndices(15, 4)
+	if len(idx) != 4 || idx[0] != 0 || idx[3] != 14 {
+		t.Errorf("probeIndices(15, 4) = %v, want 4 spread indices including 0 and 14", idx)
+	}
+	for i := 1; i < len(idx); i++ {
+		if idx[i] <= idx[i-1] {
+			t.Errorf("probe indices not strictly ascending: %v", idx)
+		}
+	}
+	if idx := probeIndices(3, 4); len(idx) != 3 || idx[0] != 0 || idx[2] != 2 {
+		t.Errorf("probeIndices(3, 4) = %v, want [0 1 2]", idx)
+	}
+}

@@ -10,11 +10,17 @@ import (
 	"alltoallx/internal/core"
 )
 
-// TableVersion is the on-disk format version Save writes and Load accepts.
-// Bump it on incompatible changes to Table or core.Options serialization;
-// Load rejects other versions rather than silently dispatching on stale
-// winners.
-const TableVersion = 1
+// TableVersion is the on-disk format version new tables are written with.
+// Version 2 added the Provenance block (source machine, probe grid,
+// fitted-model hash, refresh generation); version 1 tables carry none and
+// still decode (provenance is auditing metadata, not dispatch state).
+// Bump the version on incompatible changes to Table or core.Options
+// serialization; Load rejects unknown versions rather than silently
+// dispatching on stale winners.
+const TableVersion = 2
+
+// minTableVersion is the oldest format Load still accepts.
+const minTableVersion = 1
 
 // Entry is one row of a Table: the candidate that won blocks of at most
 // Size bytes, and its predicted time at that size.
@@ -37,6 +43,31 @@ func EntryFor(size int, best Choice) Entry {
 	return Entry{Size: size, Name: best.Label(), Algo: best.Algo, Opts: best.Opts, Seconds: best.Seconds}
 }
 
+// Provenance records how a table's winners were obtained, so a table
+// found on disk — especially one an online refinement loop has rewritten
+// while jobs were running — can be audited back to its origin. It is
+// metadata: dispatch behavior never depends on it.
+type Provenance struct {
+	// Source is the machine model the winners were measured against
+	// (normally equal to Table.Machine; kept separately so a refreshed
+	// table still names the model the original sweep ran on).
+	Source string `json:"source,omitempty"`
+	// Mode is how the winners were selected: "sweep" (exhaustive),
+	// "predictive" (cost-model-pruned sweep), or "online" (refreshed at
+	// run time by the incumbent-vs-challenger loop).
+	Mode string `json:"mode,omitempty"`
+	// ProbeSizes is the probe grid a predictive sweep fitted its cost
+	// models from (nil for exhaustive sweeps).
+	ProbeSizes []int `json:"probeSizes,omitempty"`
+	// ModelHash is the content hash of the fitted cost-model set
+	// (costmodel.Set.Hash) that pruned the sweep, tying the table to the
+	// exact models that selected its winners.
+	ModelHash string `json:"modelHash,omitempty"`
+	// Generation counts online refreshes: 0 as tuned offline, +1 every
+	// time the online loop promotes a challenger and rewrites the table.
+	Generation int `json:"generation,omitempty"`
+}
+
 // Table is a persistent, size-indexed dispatch table of autotuned winners
 // for one (machine, nodes, ppn) world. BuildTable produces it offline from
 // the machine model; Save/Load round-trip it as versioned JSON; Dispatch
@@ -56,14 +87,16 @@ type Table struct {
 	Op core.Op `json:"op,omitempty"`
 	// Entries are the per-size winners, ascending in Size.
 	Entries []Entry `json:"entries"`
+	// Provenance is the optional audit block (format version 2+).
+	Provenance *Provenance `json:"provenance,omitempty"`
 }
 
 // Validate checks version and internal consistency: a known version, a
 // positive world shape, and at least one entry with strictly ascending
 // positive sizes and constructible algorithms.
 func (t *Table) Validate() error {
-	if t.Version != TableVersion {
-		return fmt.Errorf("autotune: table version %d, this build reads version %d — regenerate with a2atune", t.Version, TableVersion)
+	if t.Version < minTableVersion || t.Version > TableVersion {
+		return fmt.Errorf("autotune: table version %d, this build reads versions %d-%d — regenerate with a2atune", t.Version, minTableVersion, TableVersion)
 	}
 	if t.Machine == "" {
 		return fmt.Errorf("autotune: table has no machine name")
@@ -112,6 +145,32 @@ func (t *Table) Dispatch() *core.Dispatch {
 		d.Entries[i] = core.DispatchEntry{MaxBlock: e.Size, Name: e.Name, Algo: e.Algo, Opts: e.Opts}
 	}
 	return d
+}
+
+// Refresh applies an online promotion (core.OnlineConfig.OnPromote) to
+// the table: the promoted bucket's entry adopts the new winner with its
+// agreed worst-rank window mean as the recorded seconds, and provenance
+// switches to mode "online" with the refresh generation bumped. Table
+// entries map 1:1 onto dispatch buckets (Dispatch), so the event's
+// bucket index addresses the entry directly. Callers persist the result
+// with Save — atomic, so a concurrently loading job never reads a torn
+// table.
+func (t *Table) Refresh(ev core.PromoteEvent) error {
+	if ev.Bucket < 0 || ev.Bucket >= len(t.Entries) {
+		return fmt.Errorf("autotune: promotion bucket %d outside table (%d entries)", ev.Bucket, len(t.Entries))
+	}
+	e := &t.Entries[ev.Bucket]
+	name := ev.New.Name
+	if name == "" {
+		name = ev.New.Algo
+	}
+	e.Name, e.Algo, e.Opts, e.Seconds = name, ev.New.Algo, ev.New.Opts, ev.NewMean
+	if t.Provenance == nil {
+		t.Provenance = &Provenance{Source: t.Machine}
+	}
+	t.Provenance.Mode = "online"
+	t.Provenance.Generation = ev.Generation
+	return nil
 }
 
 // Options returns construction options for the "tuned" algorithm backed

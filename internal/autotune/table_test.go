@@ -11,6 +11,7 @@ import (
 
 	"alltoallx/internal/comm"
 	"alltoallx/internal/core"
+	"alltoallx/internal/netmodel"
 	"alltoallx/internal/runtime"
 	"alltoallx/internal/sim"
 	"alltoallx/internal/topo"
@@ -24,7 +25,7 @@ func buildTestTable(t *testing.T, sizes []int) *Table {
 		{Name: "node-aware", Algo: "node-aware"},
 		{Name: "mlna", Algo: "multileader-node-aware", Opts: core.Options{PPL: 2}},
 	}
-	tbl, err := BuildTable(tinyDane(), core.OpAlltoall, 4, 8, sizes, cands, 1, 1)
+	tbl, err := BuildTable(tinyDane(), core.OpAlltoall, 4, 8, sizes, cands, 1, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestTunedDispatchMatchesRanking(t *testing.T) {
 		{Name: "bruck", Algo: "bruck"},
 	}
 	sizes := []int{8, 128, 2048}
-	tbl, err := BuildTable(m, core.OpAlltoall, nodes, ppn, sizes, cands, 1, 1)
+	tbl, err := BuildTable(m, core.OpAlltoall, nodes, ppn, sizes, cands, 1, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestTunedDispatchMatchesRanking(t *testing.T) {
 	}
 
 	for _, s := range sizes {
-		want, _, err := Select(m, core.OpAlltoall, nodes, ppn, s, cands, 1, 1)
+		want, _, err := Select(m, core.OpAlltoall, nodes, ppn, s, cands, 1, 1, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -228,7 +229,7 @@ func TestVTableRoundTrip(t *testing.T) {
 		{Name: "pairwise", Algo: "pairwise"},
 		{Name: "node-aware", Algo: "node-aware"},
 	}
-	tbl, err := BuildTable(tinyDane(), core.OpAlltoallv, 2, 8, []int{16, 256}, cands, 1, 1)
+	tbl, err := BuildTable(tinyDane(), core.OpAlltoallv, 2, 8, []int{16, 256}, cands, 1, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,5 +270,82 @@ func TestVTableRoundTrip(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRefreshRoundTrip closes the online loop end to end: a table tuned
+// for baseline Dane dispatches on a drifted machine (NICMsgCost x10
+// flips the 4 KiB winner from pairwise to the adjacent bucket's
+// node-aware), the refinement loop promotes the challenger, OnPromote
+// rewrites the table via Refresh, and the refreshed table round-trips
+// through Save/Load with its provenance intact.
+func TestRefreshRoundTrip(t *testing.T) {
+	drifted := netmodel.Dane()
+	drifted.NICMsgCost *= 10
+	tbl := &Table{
+		Version: TableVersion, Machine: drifted.Name, Nodes: 4, PPN: 8,
+		Entries: []Entry{
+			{Size: 2048, Name: "node-aware", Algo: "node-aware"},
+			{Size: 8192, Name: "pairwise", Algo: "pairwise"},
+			{Size: 32768, Name: "pairwise", Algo: "pairwise"},
+		},
+		Provenance: &Provenance{Source: drifted.Name, Mode: "sweep"},
+	}
+	var refreshErr error
+	cfg := sim.ClusterConfig{Model: drifted, Nodes: 4, PPN: 8, Seed: 1}
+	_, err := sim.RunCluster(cfg, func(c comm.Comm) error {
+		opts := tbl.Options()
+		opts.Online = &core.OnlineConfig{Window: 2, TrialEvery: 2, OnPromote: func(ev core.PromoteEvent) {
+			refreshErr = tbl.Refresh(ev) // rank 0 only
+		}}
+		a, err := core.New("tuned", c, 32768, opts)
+		if err != nil {
+			return err
+		}
+		const block = 4096
+		send := comm.Virtual(c.Size() * block)
+		recv := comm.Virtual(c.Size() * block)
+		for i := 0; i < 12; i++ {
+			if err := a.Alltoall(send, recv, block); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refreshErr != nil {
+		t.Fatal(refreshErr)
+	}
+	path := filepath.Join(t.TempDir(), "refreshed.json")
+	if err := tbl.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Pick(4096); got.Algo != "node-aware" || got.Seconds <= 0 {
+		t.Errorf("refreshed 4 KiB winner %+v, want promoted node-aware with its window mean", got)
+	}
+	if back.Provenance == nil || back.Provenance.Mode != "online" || back.Provenance.Generation != 1 {
+		t.Errorf("refreshed provenance %+v, want mode online at generation 1", back.Provenance)
+	}
+	if back.Provenance != nil && back.Provenance.Source != drifted.Name {
+		t.Errorf("refreshed provenance source %q, want %q kept", back.Provenance.Source, drifted.Name)
+	}
+	if got := back.Pick(1024); got.Algo != "node-aware" {
+		t.Errorf("unpromoted bucket changed: %+v", got)
+	}
+}
+
+// TestRefreshRejectsBadBucket: a promotion event outside the table is an
+// error, not a silent out-of-range write.
+func TestRefreshRejectsBadBucket(t *testing.T) {
+	tbl := &Table{Version: TableVersion, Machine: "Dane", Nodes: 1, PPN: 2,
+		Entries: []Entry{{Size: 64, Name: "bruck", Algo: "bruck"}}}
+	if err := tbl.Refresh(core.PromoteEvent{Bucket: 1}); err == nil {
+		t.Fatal("Refresh accepted an out-of-range bucket")
 	}
 }

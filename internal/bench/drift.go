@@ -1,0 +1,289 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"alltoallx/internal/artifact"
+	"alltoallx/internal/comm"
+	"alltoallx/internal/core"
+	"alltoallx/internal/netmodel"
+	"alltoallx/internal/sim"
+)
+
+// The drift experiment demonstrates the online half of the autotuning
+// story: an offline table is only as good as the machine it was tuned on,
+// and machines drift — firmware updates, congested fabrics, driver
+// regressions all move the per-message and bandwidth constants the
+// crossovers depend on. The experiment runs the tuned dispatcher in
+// refinement mode (core.OnlineConfig) twice over the same table:
+//
+//   - pre-drift, on the machine the table was tuned for: trials run but
+//     the incumbent keeps winning, so nothing is promoted;
+//   - post-drift, on a shifted machine (NICMsgCost x10 — an onload-NIC
+//     driver regression that punishes message-count-heavy exchanges):
+//     the table's winner is now stale, the adjacent bucket's aggregating
+//     algorithm wins the trials, and the loop promotes it within a few
+//     windows.
+//
+// The committed snapshot (BENCH_drift.json) pins the re-convergence
+// point and the speedup of the promoted incumbent over the stale one.
+
+// DriftVersion is the emitted format version.
+const DriftVersion = 1
+
+// Fixed methodology: one seeded world (the object is the promotion
+// trajectory, not run variance), small enough to re-run in CI, large
+// enough that the baseline winner at the drift block differs from the
+// adjacent bucket's winner — the shape the refinement loop exploits.
+const (
+	driftNodes      = 4
+	driftPPN        = 8
+	driftBlock      = 4096
+	driftMaxBlock   = 32768
+	driftSeed       = 1
+	driftCalls      = 24
+	driftWindow     = 3
+	driftTrialEvery = 2
+	// driftShift multiplies Dane's NICMsgCost for the post-drift phase:
+	// at x10, pairwise's p-1 inter-node messages per rank cost more than
+	// node-aware's aggregated exchange, flipping the 4 KiB winner.
+	driftShift = 10.0
+)
+
+// driftSpec is the table tuned on baseline Dane at the drift world: the
+// measured per-bucket winners (node-aware at 1 KiB, pairwise from 4 KiB
+// up). The refinement loop trials adjacent buckets, so node-aware is in
+// the 4 KiB bucket's challenger pool by construction.
+func driftSpec() *core.Dispatch {
+	return &core.Dispatch{Entries: []core.DispatchEntry{
+		{MaxBlock: 2048, Algo: "node-aware"},
+		{MaxBlock: 8192, Algo: "pairwise"},
+		{MaxBlock: driftMaxBlock, Algo: "pairwise"},
+	}}
+}
+
+// driftMachine returns the phase's machine model.
+func driftMachine(shifted bool) netmodel.Params {
+	m := netmodel.Dane()
+	if shifted {
+		m.NICMsgCost *= driftShift
+	}
+	return m
+}
+
+// DriftPromotion records one promotion the refinement loop made.
+type DriftPromotion struct {
+	Bucket     int     `json:"bucket"`
+	Old        string  `json:"old"`
+	New        string  `json:"new"`
+	OldSeconds float64 `json:"oldSeconds"`
+	NewSeconds float64 `json:"newSeconds"`
+	Generation int     `json:"generation"`
+}
+
+// DriftPhase is one run of the dispatcher over the table: pre-drift on
+// the tuned-for machine, post-drift on the shifted one.
+type DriftPhase struct {
+	Name string `json:"name"`
+	// Incumbent is the algorithm serving the drift block's bucket after
+	// the run; Generation and Promotions count adopted challengers.
+	Incumbent  string `json:"incumbent"`
+	Generation int    `json:"generation"`
+	Promotions int    `json:"promotions"`
+	Trials     int    `json:"trials"`
+	Calls      int    `json:"calls"`
+	// ConvergeCall is the 1-based call after which the last promotion
+	// took effect (0 when nothing was promoted).
+	ConvergeCall int `json:"convergeCall"`
+	// FirstSeconds and LastSeconds are the mean per-call worst-rank times
+	// over the first and last driftWindow calls: post-drift, Last under
+	// the promoted incumbent sits well below First under the stale one.
+	FirstSeconds float64          `json:"firstSeconds"`
+	LastSeconds  float64          `json:"lastSeconds"`
+	PerCall      []float64        `json:"perCallSeconds"`
+	Promoted     []DriftPromotion `json:"promoted,omitempty"`
+}
+
+// Drift is the full experiment artifact.
+type Drift struct {
+	Version int    `json:"version"`
+	Machine string `json:"machine"`
+	Nodes   int    `json:"nodes"`
+	PPN     int    `json:"ppn"`
+	Block   int    `json:"block"`
+	Seed    int64  `json:"seed"`
+	// Shift describes the injected machine drift.
+	Shift string `json:"shift"`
+	// StaleSeconds and ConvergedSeconds are static measurements on the
+	// drifted machine of the table's original winner and the promoted
+	// one; ReconvergeSpeedup is their ratio — what staying online buys.
+	StaleSeconds      float64      `json:"staleSeconds"`
+	ConvergedSeconds  float64      `json:"convergedSeconds"`
+	ReconvergeSpeedup float64      `json:"reconvergeSpeedup"`
+	Phases            []DriftPhase `json:"phases"`
+}
+
+// runDriftPhase runs driftCalls exchanges of the tuned dispatcher in
+// refinement mode on one machine and summarizes the trajectory.
+func runDriftPhase(name string, m netmodel.Params, progress func(string)) (DriftPhase, error) {
+	p := driftNodes * driftPPN
+	perCall := make([][]float64, driftCalls)
+	for i := range perCall {
+		perCall[i] = make([]float64, p)
+	}
+	genAfter := make([]int, driftCalls)
+	var stats core.OnlineStats
+	var promoted []DriftPromotion
+	cfg := sim.ClusterConfig{Model: m, Nodes: driftNodes, PPN: driftPPN, Seed: driftSeed}
+	_, err := sim.RunCluster(cfg, func(c comm.Comm) error {
+		oc := &core.OnlineConfig{
+			Window: driftWindow, TrialEvery: driftTrialEvery,
+			OnPromote: func(ev core.PromoteEvent) { // rank 0 only
+				promoted = append(promoted, DriftPromotion{
+					Bucket: ev.Bucket, Old: ev.Old.Algo, New: ev.New.Algo,
+					OldSeconds: ev.OldMean, NewSeconds: ev.NewMean, Generation: ev.Generation,
+				})
+			},
+		}
+		a, err := core.New("tuned", c, driftMaxBlock, core.Options{Table: driftSpec(), Online: oc})
+		if err != nil {
+			return err
+		}
+		send := comm.Virtual(c.Size() * driftBlock)
+		recv := comm.Virtual(c.Size() * driftBlock)
+		for i := 0; i < driftCalls; i++ {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			t0 := c.Now()
+			if err := a.Alltoall(send, recv, driftBlock); err != nil {
+				return fmt.Errorf("call %d: %w", i, err)
+			}
+			perCall[i][c.Rank()] = c.Now() - t0
+			if c.Rank() == 0 {
+				st := a.(interface{ OnlineStats() core.OnlineStats }).OnlineStats()
+				genAfter[i] = st.Generation
+				if progress != nil {
+					progress(fmt.Sprintf("drift %s call %2d: %s via %s (generation %d)",
+						name, i+1, m.Name, a.(interface{ Picked() string }).Picked(), st.Generation))
+				}
+			}
+		}
+		if c.Rank() == 0 {
+			stats = a.(interface{ OnlineStats() core.OnlineStats }).OnlineStats()
+		}
+		return nil
+	})
+	if err != nil {
+		return DriftPhase{}, fmt.Errorf("bench: drift phase %s: %w", name, err)
+	}
+	ph := DriftPhase{Name: name, Calls: driftCalls, Generation: stats.Generation, Promoted: promoted}
+	bucket := 0
+	for i, e := range driftSpec().Entries {
+		if driftBlock <= e.MaxBlock {
+			bucket = i
+			break
+		}
+	}
+	ph.Incumbent = stats.Buckets[bucket].Entry.Algo
+	for _, b := range stats.Buckets {
+		ph.Promotions += b.Promotions
+		ph.Trials += b.Trials
+	}
+	for i := range perCall {
+		ph.PerCall = append(ph.PerCall, maxOf(perCall[i]))
+		prev := 0
+		if i > 0 {
+			prev = genAfter[i-1]
+		}
+		if genAfter[i] != prev {
+			ph.ConvergeCall = i + 1
+		}
+	}
+	for i := 0; i < driftWindow; i++ {
+		ph.FirstSeconds += ph.PerCall[i] / driftWindow
+		ph.LastSeconds += ph.PerCall[driftCalls-1-i] / driftWindow
+	}
+	return ph, nil
+}
+
+// RunDrift executes both phases plus the static stale-vs-converged
+// comparison on the drifted machine. maxRanks, when non-zero, must admit
+// the experiment's fixed world (the winner flip it stages is shape
+// dependent); progress, if non-nil, receives one line per call.
+func RunDrift(maxRanks int, progress func(string)) (*Drift, error) {
+	if maxRanks != 0 && maxRanks < driftNodes*driftPPN {
+		return nil, fmt.Errorf("bench: -maxranks %d below the drift world (%d ranks)", maxRanks, driftNodes*driftPPN)
+	}
+	shifted := driftMachine(true)
+	out := &Drift{
+		Version: DriftVersion, Machine: shifted.Name,
+		Nodes: driftNodes, PPN: driftPPN, Block: driftBlock, Seed: driftSeed,
+		Shift: fmt.Sprintf("NICMsgCost x%g", driftShift),
+	}
+	for _, ph := range []struct {
+		name    string
+		shifted bool
+	}{{"pre-drift", false}, {"post-drift", true}} {
+		res, err := runDriftPhase(ph.name, driftMachine(ph.shifted), progress)
+		if err != nil {
+			return nil, err
+		}
+		out.Phases = append(out.Phases, res)
+	}
+	// Static comparison: what each incumbent costs on the drifted machine.
+	spec := driftSpec()
+	stale, converged := spec.Entries[1].Algo, out.Phases[1].Incumbent
+	for _, m := range []struct {
+		algo string
+		dst  *float64
+	}{{stale, &out.StaleSeconds}, {converged, &out.ConvergedSeconds}} {
+		pt, err := Measure(Config{
+			Machine: shifted, Nodes: driftNodes, PPN: driftPPN,
+			Algo: m.algo, Block: driftBlock, Runs: 3, BaseSeed: driftSeed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: drift static %s: %w", m.algo, err)
+		}
+		*m.dst = pt.Seconds
+	}
+	if out.ConvergedSeconds > 0 {
+		out.ReconvergeSpeedup = out.StaleSeconds / out.ConvergedSeconds
+	}
+	return out, nil
+}
+
+// Encode writes the artifact as indented JSON.
+func (d *Drift) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// Save writes the artifact to path atomically (internal/artifact).
+func (d *Drift) Save(path string) error {
+	return artifact.Save(path, "bench: saving drift experiment", d.Encode)
+}
+
+// Format prints the experiment as text.
+func (d *Drift) Format(w io.Writer) error {
+	fmt.Fprintf(w, "drift — tuned dispatcher with online refinement, %s %d nodes x %d ranks, %d B blocks (shift: %s)\n",
+		d.Machine, d.Nodes, d.PPN, d.Block, d.Shift)
+	for _, ph := range d.Phases {
+		fmt.Fprintf(w, "%-10s %2d calls: incumbent %-12s generation %d (%d trials, %d promotions)",
+			ph.Name, ph.Calls, ph.Incumbent, ph.Generation, ph.Trials, ph.Promotions)
+		if ph.ConvergeCall > 0 {
+			fmt.Fprintf(w, ", converged at call %d", ph.ConvergeCall)
+		}
+		fmt.Fprintf(w, "\n%-10s first window %.4e s -> last window %.4e s\n", "", ph.FirstSeconds, ph.LastSeconds)
+		for _, pr := range ph.Promoted {
+			fmt.Fprintf(w, "%-10s promoted bucket %d: %s (%.4e s) -> %s (%.4e s)\n",
+				"", pr.Bucket, pr.Old, pr.OldSeconds, pr.New, pr.NewSeconds)
+		}
+	}
+	fmt.Fprintf(w, "stale incumbent on drifted machine: %.4e s; converged: %.4e s; re-convergence speedup: %.2fx\n",
+		d.StaleSeconds, d.ConvergedSeconds, d.ReconvergeSpeedup)
+	return nil
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestDriftReconverges pins the drift experiment's shape: the table is
+// correct pre-drift (no promotions), stale post-drift (the loop promotes
+// the adjacent bucket's aggregating algorithm), and the converged
+// incumbent beats the stale one by a real margin on the drifted machine.
+func TestDriftReconverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drift experiment in -short mode")
+	}
+	d, err := RunDrift(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, post := d.Phases[0], d.Phases[1]
+	if pre.Promotions != 0 || pre.Generation != 0 || pre.Incumbent != "pairwise" {
+		t.Errorf("pre-drift phase displaced a correct incumbent: %+v", pre)
+	}
+	if pre.Trials == 0 {
+		t.Error("pre-drift phase ran no trials — the loop was not refining")
+	}
+	if post.Promotions != 1 || post.Generation != 1 || post.Incumbent != "node-aware" {
+		t.Errorf("post-drift phase did not re-converge: %+v", post)
+	}
+	if post.ConvergeCall <= 0 || post.ConvergeCall > post.Calls {
+		t.Errorf("post-drift converge call %d out of range (1..%d)", post.ConvergeCall, post.Calls)
+	}
+	if len(post.Promoted) != 1 || post.Promoted[0].Old != "pairwise" || post.Promoted[0].New != "node-aware" {
+		t.Errorf("post-drift promotions %+v, want pairwise -> node-aware", post.Promoted)
+	}
+	if d.ReconvergeSpeedup < 1.5 {
+		t.Errorf("re-convergence speedup %.2fx, want >= 1.5x (stale %.3e s vs converged %.3e s)",
+			d.ReconvergeSpeedup, d.StaleSeconds, d.ConvergedSeconds)
+	}
+
+	// The snapshot round-trips through the atomic artifact writer.
+	path := filepath.Join(t.TempDir(), "drift.json")
+	if err := d.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Drift
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Version != DriftVersion || len(back.Phases) != 2 || back.ReconvergeSpeedup != d.ReconvergeSpeedup {
+		t.Errorf("snapshot round-trip mismatch: %+v", back)
+	}
+}
+
+// TestDriftMaxRanksFloor: the staged winner flip is shape dependent, so
+// a cap below the fixed world must fail fast rather than silently shrink.
+func TestDriftMaxRanksFloor(t *testing.T) {
+	t.Parallel()
+	if _, err := RunDrift(16, nil); err == nil {
+		t.Fatal("RunDrift accepted a cap below its world")
+	}
+}

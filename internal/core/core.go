@@ -82,6 +82,11 @@ type Options struct {
 	// for "tuned", ignored otherwise). Build one offline with
 	// internal/autotune and convert via Table.Dispatch.
 	Table *Dispatch `json:"-"`
+	// Online enables the tuned dispatcher's run-time refinement loop:
+	// live per-bucket timings feed an incumbent-vs-challenger comparison
+	// that re-promotes winners as the machine drifts away from the table.
+	// Nil (the default) dispatches statically. See OnlineConfig.
+	Online *OnlineConfig `json:"-"`
 }
 
 func (o Options) withDefaults() Options {

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"alltoallx/internal/comm"
 )
@@ -61,7 +62,19 @@ var ErrPending = errors.New("operation has an outstanding handle")
 // OpState is the nonblocking bookkeeping embedded in every persistent
 // operation. Its Start enforces the one-outstanding-exchange rule and
 // dispatches the body to the communicator's async capability.
+//
+// The pending slot is mutex-guarded: an operation is documented as driven
+// by one goroutine, but the one-outstanding rule is exactly the invariant
+// that catches a second goroutine sneaking in, so the check itself must
+// be safe under that misuse. An unsynchronized check-then-set let two
+// concurrent Starts both observe no pending handle and both launch — two
+// exchange bodies racing over the operation's lazy state (the tuned
+// dispatcher's per-bucket instances, staging buffers) and, for collective
+// construction, a rank running a collective twice while its peers run it
+// once. With the lock, exactly one Start wins and the rest fail with
+// ErrPending.
 type OpState struct {
+	mu      sync.Mutex
 	pending *opHandle
 }
 
@@ -69,17 +82,22 @@ type OpState struct {
 // returns its handle. It fails if the operation's previous handle is
 // still outstanding.
 func (s *OpState) Start(c comm.Comm, body func() error) (Handle, error) {
+	// Reserve the slot before launching the body: the reservation is what
+	// serializes concurrent Starts, so it must happen under the lock and
+	// strictly before any part of the exchange runs.
+	h := &opHandle{owner: s}
+	s.mu.Lock()
 	if s.pending != nil {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("core: %w (complete it with Wait or Test before starting another exchange)", ErrPending)
 	}
-	var a comm.Async
-	if st, ok := c.(comm.AsyncStarter); ok {
-		a = st.StartAsync(body)
-	} else {
-		a = completedAsync{err: body()}
-	}
-	h := &opHandle{owner: s, a: a}
 	s.pending = h
+	s.mu.Unlock()
+	if st, ok := c.(comm.AsyncStarter); ok {
+		h.a = st.StartAsync(body)
+	} else {
+		h.a = completedAsync{err: body()}
+	}
 	return h, nil
 }
 
@@ -96,9 +114,11 @@ type opHandle struct {
 func (h *opHandle) finish(err error) {
 	h.done = true
 	h.err = err
+	h.owner.mu.Lock()
 	if h.owner.pending == h {
 		h.owner.pending = nil
 	}
+	h.owner.mu.Unlock()
 }
 
 // Wait blocks until the exchange completes.

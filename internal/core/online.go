@@ -1,0 +1,397 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"alltoallx/internal/comm"
+	"alltoallx/internal/trace"
+)
+
+// Online refinement keeps a tuned dispatch table honest after the offline
+// sweep: machines drift (firmware, congestion, fabric degradation), and a
+// table tuned on yesterday's machine model can dispatch to yesterday's
+// winner. In refinement mode the dispatcher runs an incumbent-vs-
+// challenger loop per size bucket: most calls run the tabled incumbent,
+// every TrialEvery-th call runs a challenger drawn from the neighboring
+// buckets' winners (when the machine drifts, crossover points move, so
+// the adjacent bucket's algorithm is exactly the plausible usurper), and
+// both sides' timings land in rings of recent observations. Once both
+// windows are full the ranks agree on worst-rank window means with a
+// dissemination max-allreduce and promote the challenger only if it beats
+// the incumbent by the hysteresis fraction — the same damping the bucket
+// logic uses against boundary thrash, here against timing noise.
+//
+// Every decision point is deterministic in the call sequence (SPMD: all
+// ranks see the same blocks, buckets and call counts), so ranks trial,
+// construct and promote in lockstep even though their local timings
+// differ; the allreduce is what makes the *decision* collective. The
+// dispatcher mutates only its own per-instance copy of the entries — the
+// Dispatch spec in Options is shared across ranks in-process and is never
+// written. Persistence stays with the caller: OnPromote (rank 0 only)
+// reports each promotion so the owner of the autotune table can rewrite
+// it through the atomic artifact discipline.
+
+// OnlineConfig enables and parameterizes online refinement of a tuned
+// dispatcher (Options.Online).
+type OnlineConfig struct {
+	// Window is the number of recent observations per side (incumbent,
+	// challenger) a promotion decision compares. Default 8.
+	Window int
+	// TrialEvery runs a challenger every N-th call in a bucket (the
+	// deterministic epsilon of the epsilon-greedy loop: epsilon = 1/N).
+	// Default 8; minimum 2 (every call a trial would starve the incumbent
+	// window).
+	TrialEvery int
+	// MinImprove is the promotion hysteresis: a challenger is promoted
+	// only when its agreed window mean beats the incumbent's by this
+	// fraction. Default tunedHysteresis (0.25), reusing the bucket
+	// logic's damping.
+	MinImprove float64
+	// OnPromote, if non-nil, is invoked on rank 0 only, after the
+	// collective promotion decision, with the refreshed entry. Callers
+	// use it to rewrite the persisted autotune table (atomically — see
+	// internal/artifact); the dispatcher itself never touches disk.
+	OnPromote func(PromoteEvent)
+}
+
+func (cfg OnlineConfig) withDefaults() OnlineConfig {
+	if cfg.Window == 0 {
+		cfg.Window = 8
+	}
+	if cfg.TrialEvery == 0 {
+		cfg.TrialEvery = 8
+	}
+	if cfg.MinImprove == 0 {
+		cfg.MinImprove = tunedHysteresis
+	}
+	return cfg
+}
+
+func (cfg OnlineConfig) validate() error {
+	if cfg.Window < 1 {
+		return fmt.Errorf("core: online Window %d, need >= 1", cfg.Window)
+	}
+	if cfg.TrialEvery < 2 {
+		return fmt.Errorf("core: online TrialEvery %d, need >= 2 (every call a trial starves the incumbent window)", cfg.TrialEvery)
+	}
+	if cfg.MinImprove < 0 || cfg.MinImprove >= 1 {
+		return fmt.Errorf("core: online MinImprove %g, need 0 <= f < 1", cfg.MinImprove)
+	}
+	return nil
+}
+
+// PromoteEvent describes one collective challenger promotion.
+type PromoteEvent struct {
+	// Op is the dispatcher's operation kind.
+	Op Op
+	// Bucket is the promoted entry's index in the dispatch spec.
+	Bucket int
+	// Old and New are the bucket's entry before and after promotion (the
+	// MaxBlock boundary never changes — only who serves the bucket).
+	Old, New DispatchEntry
+	// OldMean and NewMean are the agreed worst-rank window means (s) the
+	// decision compared.
+	OldMean, NewMean float64
+	// Generation counts promotions across the dispatcher's lifetime;
+	// this event is number Generation (1-based).
+	Generation int
+}
+
+// OnlineStats is a snapshot of the refinement loop, observable on either
+// tuned dispatcher through a type assertion:
+//
+//	s := a.(interface{ OnlineStats() OnlineStats }).OnlineStats()
+type OnlineStats struct {
+	// Enabled is false when the dispatcher runs without refinement (the
+	// rest of the snapshot is zero).
+	Enabled bool
+	// Generation counts promotions so far (the table-provenance refresh
+	// generation a caller persisting the table should record).
+	Generation int
+	// Buckets mirrors the dispatch entries, refreshed by promotions.
+	Buckets []OnlineBucketStats
+}
+
+// OnlineBucketStats is one bucket's view of the refinement loop.
+type OnlineBucketStats struct {
+	// Entry is the bucket's current (possibly promoted) entry.
+	Entry DispatchEntry
+	// Incumbent labels the entry; Challenger labels the candidate
+	// currently being trialed ("" when the bucket has none to trial).
+	Incumbent, Challenger string
+	// Calls, Trials and Promotions count this bucket's dispatches,
+	// challenger runs, and adopted challengers.
+	Calls, Trials, Promotions int
+}
+
+// ring is a fixed-capacity ring of recent timing observations.
+type ring struct {
+	buf     []float64
+	n, next int
+}
+
+func newRing(k int) ring { return ring{buf: make([]float64, k)} }
+
+func (r *ring) add(v float64) {
+	r.buf[r.next] = v
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+func (r *ring) full() bool { return r.n == len(r.buf) }
+
+func (r *ring) mean() float64 {
+	if r.n == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, v := range r.buf[:r.n] {
+		s += v
+	}
+	return s / float64(r.n)
+}
+
+func (r *ring) reset() { r.n, r.next = 0, 0 }
+
+// phaser is the slice of Alltoaller/Alltoallver the refinement loop needs
+// from the instances it manages.
+type phaser interface {
+	Phases() map[trace.Phase]float64
+}
+
+// obucket is one bucket's refinement state.
+type obucket[T phaser] struct {
+	calls, trials, promotions int
+	// rot rotates the challenger pool across failed trials.
+	rot int
+	// inc and ch hold the recent observations of the incumbent and the
+	// current challenger; chLabel pins who ch's observations belong to
+	// (a promotion in an adjacent bucket can change the pool mid-window,
+	// which must discard the stale window, identically on every rank).
+	inc, ch ring
+	chLabel string
+	// insts caches constructed instances by entry label, so a demoted
+	// incumbent re-trials without reconstruction.
+	insts map[string]T
+}
+
+// online is the refinement engine shared by the tuned and tunedV
+// dispatchers (T = Alltoaller or Alltoallver).
+type online[T phaser] struct {
+	c   comm.Comm
+	cfg OnlineConfig
+	op  Op
+	// entries is this instance's private copy of the dispatch entries —
+	// the refreshed table. The spec the dispatcher was built from is
+	// shared (all ranks of an in-process run hold the same *Dispatch)
+	// and is never mutated.
+	entries []DispatchEntry
+	gen     int
+	b       []obucket[T]
+	// build constructs the instance for an entry (New or NewV closure).
+	build func(DispatchEntry) (T, error)
+	// lastLabel/lastInst describe the entry the previous call actually
+	// ran (a trial call reports the challenger).
+	lastLabel string
+	lastInst  T
+	hasLast   bool
+
+	abuf, bbuf comm.Buffer // 16-byte agreement staging (always real)
+}
+
+func newOnline[T phaser](c comm.Comm, cfg OnlineConfig, op Op, spec *Dispatch, build func(DispatchEntry) (T, error)) (*online[T], error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	o := &online[T]{
+		c: c, cfg: cfg, op: op.Norm(),
+		entries: append([]DispatchEntry(nil), spec.Entries...),
+		b:       make([]obucket[T], len(spec.Entries)),
+		build:   build,
+		abuf:    comm.Alloc(16),
+		bbuf:    comm.Alloc(16),
+	}
+	for i := range o.b {
+		o.b[i].inc = newRing(cfg.Window)
+		o.b[i].ch = newRing(cfg.Window)
+	}
+	return o, nil
+}
+
+// challengers returns bucket i's candidate pool: the distinct entries of
+// the adjacent buckets. Derived from the (identical) entries on every
+// rank, so the pool — and therefore every trial — is SPMD-consistent.
+func (o *online[T]) challengers(i int) []DispatchEntry {
+	var out []DispatchEntry
+	seen := map[string]bool{o.entries[i].label(): true}
+	for _, j := range []int{i - 1, i + 1} {
+		if j >= 0 && j < len(o.entries) && !seen[o.entries[j].label()] {
+			seen[o.entries[j].label()] = true
+			out = append(out, o.entries[j])
+		}
+	}
+	return out
+}
+
+// pick chooses the entry serving this call in bucket i: the incumbent,
+// or — once the incumbent window is warm, on every TrialEvery-th call —
+// the current challenger.
+func (o *online[T]) pick(i int) (DispatchEntry, bool) {
+	b := &o.b[i]
+	b.calls++
+	inc := o.entries[i]
+	if !b.inc.full() {
+		return inc, false // warm the incumbent baseline first
+	}
+	pool := o.challengers(i)
+	if len(pool) == 0 || b.calls%o.cfg.TrialEvery != 0 {
+		return inc, false
+	}
+	b.trials++
+	return pool[b.rot%len(pool)], true
+}
+
+// instFor returns the cached instance for an entry in bucket i,
+// constructing it (collectively — all ranks reach this on the same call)
+// on first use.
+func (o *online[T]) instFor(i int, e DispatchEntry) (T, error) {
+	b := &o.b[i]
+	if b.insts == nil {
+		b.insts = make(map[string]T)
+	}
+	if inst, ok := b.insts[e.label()]; ok {
+		return inst, nil
+	}
+	inst, err := o.build(e)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	b.insts[e.label()] = inst
+	return inst, nil
+}
+
+// run executes one dispatched call in bucket i under the refinement loop:
+// pick, construct, time, record, and possibly promote.
+func (o *online[T]) run(i int, call func(T) error) error {
+	e, trial := o.pick(i)
+	inst, err := o.instFor(i, e)
+	if err != nil {
+		return err
+	}
+	o.lastLabel, o.lastInst, o.hasLast = e.label(), inst, true
+	t0 := o.c.Now()
+	if err := call(inst); err != nil {
+		return err
+	}
+	return o.record(i, trial, e, o.c.Now()-t0)
+}
+
+// record adds one observation and, when both windows are full at a trial
+// call, runs the collective promotion decision.
+func (o *online[T]) record(i int, trial bool, e DispatchEntry, secs float64) error {
+	b := &o.b[i]
+	if !trial {
+		b.inc.add(secs)
+		return nil
+	}
+	if label := e.label(); b.chLabel != label {
+		b.ch.reset() // pool rotated or changed under an adjacent promotion
+		b.chLabel = label
+	}
+	b.ch.add(secs)
+	if !b.ch.full() || !b.inc.full() {
+		return nil
+	}
+	// Both windows full at a deterministic call: every rank decides now.
+	// Agree on worst-rank means — max is idempotent, so dissemination's
+	// overlapping coverage yields the exact global maximum — and compare
+	// once, identically, everywhere.
+	im, cm, err := o.agreeMax(b.inc.mean(), b.ch.mean())
+	if err != nil {
+		return err
+	}
+	if cm < im*(1-o.cfg.MinImprove) {
+		old := o.entries[i]
+		o.entries[i] = DispatchEntry{MaxBlock: old.MaxBlock, Name: e.Name, Algo: e.Algo, Opts: e.Opts}
+		o.gen++
+		b.promotions++
+		b.inc.reset()
+		b.ch.reset()
+		b.chLabel = ""
+		b.rot = 0
+		if o.cfg.OnPromote != nil && o.c.Rank() == 0 {
+			o.cfg.OnPromote(PromoteEvent{
+				Op: o.op, Bucket: i, Old: old, New: o.entries[i],
+				OldMean: im, NewMean: cm, Generation: o.gen,
+			})
+		}
+	} else {
+		b.ch.reset()
+		b.chLabel = ""
+		b.rot++
+	}
+	return nil
+}
+
+// tagOnlineAgree is the tag base of the promotion-decision allreduce (one
+// tag per dissemination round), clear of tagVDispatch's round range.
+const tagOnlineAgree = 331
+
+// agreeMax max-allreduces two non-negative float64s across the
+// communicator by dissemination: in round k every rank exchanges its
+// running maxima with ranks +/- 2^k away. Non-negative IEEE floats order
+// identically to their bit patterns, so the reduction runs on bits.
+func (o *online[T]) agreeMax(a, b float64) (float64, float64, error) {
+	n, r := o.c.Size(), o.c.Rank()
+	am, bm := math.Float64bits(a), math.Float64bits(b)
+	round := 0
+	for k := 1; k < n; k <<= 1 {
+		binary.LittleEndian.PutUint64(o.abuf.Bytes()[0:8], am)
+		binary.LittleEndian.PutUint64(o.abuf.Bytes()[8:16], bm)
+		to := (r + k) % n
+		from := (r - k + n) % n
+		if err := o.c.Sendrecv(o.abuf, to, tagOnlineAgree+round, o.bbuf, from, tagOnlineAgree+round); err != nil {
+			return 0, 0, fmt.Errorf("core: online promotion agreement round %d: %w", round, err)
+		}
+		if v := binary.LittleEndian.Uint64(o.bbuf.Bytes()[0:8]); v > am {
+			am = v
+		}
+		if v := binary.LittleEndian.Uint64(o.bbuf.Bytes()[8:16]); v > bm {
+			bm = v
+		}
+		round++
+	}
+	return math.Float64frombits(am), math.Float64frombits(bm), nil
+}
+
+// stats snapshots the loop for OnlineStats.
+func (o *online[T]) stats() OnlineStats {
+	s := OnlineStats{Enabled: true, Generation: o.gen}
+	for i := range o.b {
+		b := &o.b[i]
+		ch := ""
+		if pool := o.challengers(i); len(pool) > 0 {
+			ch = pool[b.rot%len(pool)].label()
+		}
+		s.Buckets = append(s.Buckets, OnlineBucketStats{
+			Entry:     o.entries[i],
+			Incumbent: o.entries[i].label(), Challenger: ch,
+			Calls: b.calls, Trials: b.trials, Promotions: b.promotions,
+		})
+	}
+	return s
+}
+
+// phases reports the last-run instance's breakdown ("" label = no call).
+func (o *online[T]) phases() map[trace.Phase]float64 {
+	if !o.hasLast {
+		return nil
+	}
+	return o.lastInst.Phases()
+}

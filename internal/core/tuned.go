@@ -139,6 +139,10 @@ type tuned struct {
 	insts    []Alltoaller // lazily constructed, indexed like spec.Entries
 	st       OpState
 	last     int // bucket used by the previous call, -1 before any
+
+	// onl, when non-nil, runs the online refinement loop (Options.Online)
+	// over a private copy of the entries; the shared spec stays read-only.
+	onl *online[Alltoaller]
 }
 
 func newTuned(c comm.Comm, maxBlock int, o Options) (Alltoaller, error) {
@@ -151,13 +155,27 @@ func newTuned(c comm.Comm, maxBlock int, o Options) (Alltoaller, error) {
 	if op := o.Table.Op.Norm(); op != OpAlltoall {
 		return nil, fmt.Errorf("core: dispatch spec tuned for %q cannot drive the fixed-size %q algorithm (use NewV)", op, algoTuned)
 	}
-	return &tuned{
+	t := &tuned{
 		c:        c,
 		maxBlock: maxBlock,
 		spec:     o.Table,
 		insts:    make([]Alltoaller, len(o.Table.Entries)),
 		last:     -1,
-	}, nil
+	}
+	if o.Online != nil {
+		onl, err := newOnline(c, *o.Online, OpAlltoall, o.Table, func(e DispatchEntry) (Alltoaller, error) {
+			a, err := New(e.Algo, c, maxBlock, e.Opts)
+			if err != nil {
+				return nil, fmt.Errorf("core: tuned bucket <=%d B (%s): %w", e.MaxBlock, e.label(), err)
+			}
+			return a, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.onl = onl
+	}
+	return t, nil
 }
 
 func (t *tuned) Name() string { return algoTuned }
@@ -231,6 +249,14 @@ func (t *tuned) Alltoall(send, recv comm.Buffer, block int) error {
 
 func (t *tuned) dispatch(send, recv comm.Buffer, block int) error {
 	i := t.bucket(block)
+	t.last = i
+	if t.onl != nil {
+		// Refinement mode: the loop picks incumbent or challenger, times
+		// the exchange, and owns the per-bucket instance cache. Bucket
+		// boundaries never change under promotion, so t.bucket stays
+		// valid against the shared spec.
+		return t.onl.run(i, func(a Alltoaller) error { return a.Alltoall(send, recv, block) })
+	}
 	if t.insts[i] == nil {
 		e := t.spec.Entries[i]
 		a, err := New(e.Algo, t.c, t.maxBlock, e.Opts)
@@ -239,13 +265,15 @@ func (t *tuned) dispatch(send, recv comm.Buffer, block int) error {
 		}
 		t.insts[i] = a
 	}
-	t.last = i
 	return t.insts[i].Alltoall(send, recv, block)
 }
 
 // Phases reports the per-phase breakdown of the algorithm the last call
 // dispatched to.
 func (t *tuned) Phases() map[trace.Phase]float64 {
+	if t.onl != nil {
+		return t.onl.phases()
+	}
 	if t.last < 0 || t.insts[t.last] == nil {
 		return nil
 	}
@@ -253,15 +281,30 @@ func (t *tuned) Phases() map[trace.Phase]float64 {
 }
 
 // Picked returns the label of the entry the last Alltoall dispatched to
-// ("" before any call). Tests and diagnostics use it to observe dispatch
-// decisions; it is available through a type assertion on the Alltoaller:
+// ("" before any call). In refinement mode a trial call reports the
+// challenger that actually ran. Tests and diagnostics use it to observe
+// dispatch decisions; it is available through a type assertion on the
+// Alltoaller:
 //
 //	p := a.(interface{ Picked() string })
 func (t *tuned) Picked() string {
+	if t.onl != nil {
+		return t.onl.lastLabel
+	}
 	if t.last < 0 {
 		return ""
 	}
 	return t.spec.Entries[t.last].label()
+}
+
+// OnlineStats snapshots the refinement loop (zero value when the
+// dispatcher was built without Options.Online), available through a type
+// assertion like Picked.
+func (t *tuned) OnlineStats() OnlineStats {
+	if t.onl == nil {
+		return OnlineStats{}
+	}
+	return t.onl.stats()
 }
 
 // init registers tuned separately: like system-mpi, its factory calls New

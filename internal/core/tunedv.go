@@ -29,6 +29,10 @@ type tunedV struct {
 	last     int // agreed bucket of the previous call, -1 before any
 
 	abuf, bbuf comm.Buffer // 8-byte agreement staging (always real)
+
+	// onl, when non-nil, runs the online refinement loop (Options.Online)
+	// over a private copy of the entries; the shared spec stays read-only.
+	onl *online[Alltoallver]
 }
 
 func newTunedV(c comm.Comm, maxTotal int, o Options) (Alltoallver, error) {
@@ -41,7 +45,7 @@ func newTunedV(c comm.Comm, maxTotal int, o Options) (Alltoallver, error) {
 	if op := o.Table.Op.Norm(); op != OpAlltoallv {
 		return nil, fmt.Errorf("core: dispatch spec tuned for %q cannot drive the %s %q algorithm (use New)", op, OpAlltoallv, algoTuned)
 	}
-	return &tunedV{
+	t := &tunedV{
 		c:        c,
 		maxTotal: maxTotal,
 		spec:     o.Table,
@@ -49,7 +53,21 @@ func newTunedV(c comm.Comm, maxTotal int, o Options) (Alltoallver, error) {
 		last:     -1,
 		abuf:     comm.Alloc(8),
 		bbuf:     comm.Alloc(8),
-	}, nil
+	}
+	if o.Online != nil {
+		onl, err := newOnline(c, *o.Online, OpAlltoallv, o.Table, func(e DispatchEntry) (Alltoallver, error) {
+			a, err := NewV(e.Algo, c, maxTotal, e.Opts)
+			if err != nil {
+				return nil, fmt.Errorf("core: tuned bucket <=%d B/peer (%s): %w", e.MaxBlock, e.label(), err)
+			}
+			return a, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.onl = onl
+	}
+	return t, nil
 }
 
 // tagVDispatch is the tag base of the per-call bucket agreement (one tag
@@ -113,6 +131,14 @@ func (t *tunedV) dispatch(send comm.Buffer, sendCounts, sdispls []int,
 	if err != nil {
 		return err
 	}
+	t.last = i
+	if t.onl != nil {
+		// Refinement mode: the bucket is already agreed collectively, so
+		// the loop's deterministic call counting holds on every rank.
+		return t.onl.run(i, func(a Alltoallver) error {
+			return a.Alltoallv(send, sendCounts, sdispls, recv, recvCounts, rdispls)
+		})
+	}
 	if t.insts[i] == nil {
 		e := t.spec.Entries[i]
 		a, err := NewV(e.Algo, t.c, t.maxTotal, e.Opts)
@@ -121,13 +147,15 @@ func (t *tunedV) dispatch(send comm.Buffer, sendCounts, sdispls []int,
 		}
 		t.insts[i] = a
 	}
-	t.last = i
 	return t.insts[i].Alltoallv(send, sendCounts, sdispls, recv, recvCounts, rdispls)
 }
 
 // Phases reports the per-phase breakdown of the algorithm the last call
 // dispatched to.
 func (t *tunedV) Phases() map[trace.Phase]float64 {
+	if t.onl != nil {
+		return t.onl.phases()
+	}
 	if t.last < 0 || t.insts[t.last] == nil {
 		return nil
 	}
@@ -136,10 +164,24 @@ func (t *tunedV) Phases() map[trace.Phase]float64 {
 
 // Picked returns the label of the entry the last Alltoallv dispatched to
 // ("" before any call), observable through a type assertion like the
-// fixed-size dispatcher's.
+// fixed-size dispatcher's. In refinement mode a trial call reports the
+// challenger that actually ran.
 func (t *tunedV) Picked() string {
+	if t.onl != nil {
+		return t.onl.lastLabel
+	}
 	if t.last < 0 {
 		return ""
 	}
 	return t.spec.Entries[t.last].label()
+}
+
+// OnlineStats snapshots the refinement loop (zero value when the
+// dispatcher was built without Options.Online), available through a type
+// assertion like Picked.
+func (t *tunedV) OnlineStats() OnlineStats {
+	if t.onl == nil {
+		return OnlineStats{}
+	}
+	return t.onl.stats()
 }

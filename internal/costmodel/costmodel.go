@@ -1,0 +1,305 @@
+// Package costmodel fits predictive cost models from a handful of probe
+// measurements. A model is a power law T(x) = e^intercept * x^slope — a
+// straight line in log-log space, the shape every algorithm in this
+// repository follows over block size once a regime (latency-, message- or
+// bandwidth-bound) dominates — fitted by least squares with an R²
+// confidence score. A Set collects the fitted models of one candidate
+// pool (one machine, world shape and operation) as a versioned JSON
+// artifact, predicts the winner at unmeasured sizes, and locates the
+// crossover points where the predicted winner changes: exactly the sizes
+// a predictive autotune sweep must measure densely, and the sizes it can
+// safely skip.
+//
+// The package deliberately knows nothing about algorithms or simulators:
+// it fits (x, seconds) points. internal/autotune produces the points and
+// consumes the predictions.
+package costmodel
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"alltoallx/internal/artifact"
+)
+
+// SetVersion is the on-disk format version Save writes and Load accepts.
+const SetVersion = 1
+
+// MinR2 is the confidence floor: a fit explaining less of its points'
+// variance than this is flagged LowConfidence, and crossovers involving
+// it are suppressed (a noisy fit's crossing point is an artifact of the
+// noise, not a property of the machine).
+const MinR2 = 0.9
+
+// Fit is a least-squares power law T(x) = e^Intercept * x^Slope, fitted
+// in log-log space (the SNIPPETS.md scaling-analysis harness shape:
+// slope, intercept, R²).
+type Fit struct {
+	// Slope is the scaling exponent d log T / d log x.
+	Slope float64 `json:"slope"`
+	// Intercept is log T extrapolated to x = 1.
+	Intercept float64 `json:"intercept"`
+	// R2 is the coefficient of determination of the fit in log space
+	// (1 = the points sit exactly on the line).
+	R2 float64 `json:"r2"`
+	// N is the number of points fitted.
+	N int `json:"n"`
+}
+
+// FitPoints fits a power law to measured (x, y) points. It errors rather
+// than fit garbage: at least two distinct x values are required (a single
+// probe point determines no slope), and every coordinate must be positive
+// (the fit is linear in logarithms). Constant y values are a valid zero-
+// slope fit with R² = 1 — the line reproduces the points exactly.
+func FitPoints(xs, ys []float64) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, fmt.Errorf("costmodel: %d x values vs %d y values", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return Fit{}, fmt.Errorf("costmodel: need at least 2 probe points to fit a slope, got %d", len(xs))
+	}
+	distinct := false
+	for i, x := range xs {
+		if x <= 0 || ys[i] <= 0 {
+			return Fit{}, fmt.Errorf("costmodel: point %d (%g, %g) not positive (the fit is log-log)", i, x, ys[i])
+		}
+		if x != xs[0] {
+			distinct = true
+		}
+	}
+	if !distinct {
+		return Fit{}, fmt.Errorf("costmodel: all %d probe points share x=%g (no slope is determined)", len(xs), xs[0])
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	slope := (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	intercept := (sy - slope*sx) / n
+	// R² in log space: 1 - SSres/SStot. Constant y gives SStot = 0; the
+	// zero-slope line then reproduces the points exactly (SSres = 0 up to
+	// float rounding), so the fit is perfect, not undefined.
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range xs {
+		ly := math.Log(ys[i])
+		d := ly - (slope*math.Log(xs[i]) + intercept)
+		ssRes += d * d
+		t := ly - meanY
+		ssTot += t * t
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return Fit{Slope: slope, Intercept: intercept, R2: r2, N: len(xs)}, nil
+}
+
+// Predict returns the modeled time at x (NaN for non-positive x).
+func (f Fit) Predict(x float64) float64 {
+	if x <= 0 {
+		return math.NaN()
+	}
+	return math.Exp(f.Intercept + f.Slope*math.Log(x))
+}
+
+// LowConfidence reports whether predictions from this fit should not be
+// trusted on their own: too few points to cross-check the line (N < 3) or
+// too much unexplained variance (R² below MinR2, e.g. non-monotone noise
+// in the probes). A predictive sweep treats low-confidence candidates as
+// always-uncertain: it measures them instead of pruning on their model.
+func (f Fit) LowConfidence() bool {
+	return f.N < 3 || f.R2 < MinR2 || math.IsNaN(f.R2)
+}
+
+// Crossover returns the x at which the two modeled times are equal — the
+// predicted point where the faster candidate flips. ok is false when the
+// models never cross (parallel power laws) or when either fit is
+// LowConfidence (a crossing computed from a noisy fit would send the
+// sweep measuring in the wrong place and, worse, pruning in the right
+// one).
+func Crossover(a, b Fit) (x float64, ok bool) {
+	if a.LowConfidence() || b.LowConfidence() {
+		return 0, false
+	}
+	ds := a.Slope - b.Slope
+	if math.Abs(ds) < 1e-12 {
+		return 0, false
+	}
+	return math.Exp((b.Intercept - a.Intercept) / ds), true
+}
+
+// Model is one candidate's fitted cost model.
+type Model struct {
+	// Name is the candidate label (autotune's Candidate.Label).
+	Name string `json:"name"`
+	Fit
+}
+
+// Crossing is one predicted winner-relevant crossover point.
+type Crossing struct {
+	// X is the size at which models A and B predict equal time.
+	X float64 `json:"x"`
+	// A and B name the crossing models.
+	A string `json:"a"`
+	B string `json:"b"`
+}
+
+// Set is the fitted-model artifact of one tuning run: every candidate's
+// power law over the probe grid, for one (machine, world, operation).
+type Set struct {
+	Version int    `json:"version"`
+	Machine string `json:"machine"`
+	// Op is the tuned collective ("alltoall" or "alltoallv").
+	Op    string `json:"op"`
+	Nodes int    `json:"nodes"`
+	PPN   int    `json:"ppn"`
+	// Runs and Seed pin the probe methodology.
+	Runs int   `json:"runs"`
+	Seed int64 `json:"seed"`
+	// ProbeSizes is the grid the models were fitted from, ascending.
+	ProbeSizes []int `json:"probeSizes"`
+	// Models are the per-candidate fits, in candidate-pool order.
+	Models []Model `json:"models"`
+}
+
+// Validate checks version and internal consistency.
+func (s *Set) Validate() error {
+	if s.Version != SetVersion {
+		return fmt.Errorf("costmodel: model set version %d, this build reads version %d — refit with a2atune -predict", s.Version, SetVersion)
+	}
+	if s.Machine == "" {
+		return fmt.Errorf("costmodel: model set has no machine name")
+	}
+	if s.Nodes <= 0 || s.PPN <= 0 {
+		return fmt.Errorf("costmodel: model set world %d nodes x %d ppn invalid", s.Nodes, s.PPN)
+	}
+	if len(s.ProbeSizes) < 2 {
+		return fmt.Errorf("costmodel: model set has %d probe sizes, need at least 2", len(s.ProbeSizes))
+	}
+	for i, p := range s.ProbeSizes {
+		if p <= 0 || (i > 0 && p <= s.ProbeSizes[i-1]) {
+			return fmt.Errorf("costmodel: probe sizes must be positive and ascending, got %v", s.ProbeSizes)
+		}
+	}
+	if len(s.Models) == 0 {
+		return fmt.Errorf("costmodel: model set has no models")
+	}
+	seen := make(map[string]bool, len(s.Models))
+	for i, m := range s.Models {
+		if m.Name == "" {
+			return fmt.Errorf("costmodel: model %d has no name", i)
+		}
+		if seen[m.Name] {
+			return fmt.Errorf("costmodel: duplicate model %q", m.Name)
+		}
+		seen[m.Name] = true
+	}
+	return nil
+}
+
+// Model returns the named model.
+func (s *Set) Model(name string) (Model, bool) {
+	for _, m := range s.Models {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Model{}, false
+}
+
+// Best returns the model predicting the lowest time at x. ok is false on
+// an empty set.
+func (s *Set) Best(x float64) (Model, bool) {
+	ok := false
+	var best Model
+	bestT := math.Inf(1)
+	for _, m := range s.Models {
+		if t := m.Predict(x); t < bestT {
+			best, bestT, ok = m, t, true
+		}
+	}
+	return best, ok
+}
+
+// Crossovers returns every pairwise crossover that falls inside [lo, hi],
+// ascending in X. Low-confidence fits contribute none (see Crossover);
+// the caller treats those candidates as uncertain everywhere instead.
+func (s *Set) Crossovers(lo, hi float64) []Crossing {
+	var out []Crossing
+	for i := 0; i < len(s.Models); i++ {
+		for j := i + 1; j < len(s.Models); j++ {
+			x, ok := Crossover(s.Models[i].Fit, s.Models[j].Fit)
+			if ok && x >= lo && x <= hi {
+				out = append(out, Crossing{X: x, A: s.Models[i].Name, B: s.Models[j].Name})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].X < out[j].X })
+	return out
+}
+
+// Hash returns a short content hash of the fitted models (probe grid and
+// every slope/intercept/R²), the fitted-model fingerprint an autotune
+// table records in its provenance so a table can be traced back to the
+// exact models that pruned its sweep.
+func (s *Set) Hash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "v%d|%s|%s|%dx%d|%v", s.Version, s.Machine, s.Op, s.Nodes, s.PPN, s.ProbeSizes)
+	for _, m := range s.Models {
+		fmt.Fprintf(h, "|%s:%.17g:%.17g:%.17g:%d", m.Name, m.Slope, m.Intercept, m.R2, m.N)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// Encode writes the set as versioned, indented JSON.
+func (s *Set) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Decode reads and validates one set from r.
+func Decode(r io.Reader) (*Set, error) {
+	var s Set
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("costmodel: decoding model set: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Save writes the set to path atomically (internal/artifact).
+func (s *Set) Save(path string) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	return artifact.Save(path, "costmodel: saving model set", s.Encode)
+}
+
+// Load reads and validates the set at path.
+func Load(path string) (*Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("costmodel: loading model set: %w", err)
+	}
+	defer f.Close()
+	s, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
