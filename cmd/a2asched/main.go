@@ -34,6 +34,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -109,7 +110,7 @@ func runList(args []string) error {
 	)
 	fs.Parse(args)
 	if *root != "" && *daemon != "" {
-		return fmt.Errorf("-root and -daemon are mutually exclusive")
+		return errors.New("-root and -daemon are mutually exclusive")
 	}
 	switch {
 	case *root != "":
@@ -170,7 +171,7 @@ func runFetch(args []string) error {
 	)
 	fs.Parse(args)
 	if (*daemon == "") == (*root == "") {
-		return fmt.Errorf("fetch needs exactly one of -daemon or -root")
+		return errors.New("fetch needs exactly one of -daemon or -root")
 	}
 	p, m, err := parseWorld(*ranks, *nodes, *ppn)
 	if err != nil {
@@ -243,7 +244,7 @@ func parseWorld(ranks, nodes, ppn int) (int, *topo.Mapping, error) {
 	p := ranks
 	if nodes > 0 || ppn > 0 {
 		if nodes <= 0 || ppn <= 0 {
-			return 0, nil, fmt.Errorf("-nodes and -ppn must be given together")
+			return 0, nil, errors.New("-nodes and -ppn must be given together")
 		}
 		var err error
 		// The generator only consumes the nodes x ppn grid; a flat
@@ -258,7 +259,7 @@ func parseWorld(ranks, nodes, ppn int) (int, *topo.Mapping, error) {
 		p = m.Size()
 	}
 	if p <= 0 {
-		return 0, nil, fmt.Errorf("need -ranks (or -nodes and -ppn)")
+		return 0, nil, errors.New("need -ranks (or -nodes and -ppn)")
 	}
 	return p, m, nil
 }
@@ -403,7 +404,7 @@ func runPrint(args []string) error {
 
 func runDiff(args []string) error {
 	if len(args) != 2 {
-		return fmt.Errorf("usage: a2asched diff <a> <b>")
+		return errors.New("usage: a2asched diff <a> <b>")
 	}
 	a, err := sched.Load(args[0])
 	if err != nil {

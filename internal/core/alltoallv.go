@@ -84,7 +84,7 @@ func NewV(name string, c comm.Comm, maxTotal int, o Options) (Alltoallver, error
 		return nil, fmt.Errorf("core: unknown alltoallv algorithm %q (have %v)", name, NamesV())
 	}
 	if c == nil {
-		return nil, fmt.Errorf("core: nil communicator")
+		return nil, errNilComm
 	}
 	if maxTotal <= 0 {
 		return nil, fmt.Errorf("core: maxTotal must be positive, got %d", maxTotal)

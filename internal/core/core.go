@@ -22,6 +22,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -30,6 +31,9 @@ import (
 	"alltoallx/internal/netmodel"
 	"alltoallx/internal/trace"
 )
+
+// errNilComm rejects a nil communicator before any constructor touches it.
+var errNilComm = errors.New("core: nil communicator")
 
 // Inner selects the algorithm used for the all-to-all exchanges *inside*
 // the node-aware family (the paper benchmarks each algorithm with both
@@ -182,7 +186,7 @@ func New(name string, c comm.Comm, maxBlock int, o Options) (Alltoaller, error) 
 		return nil, fmt.Errorf("core: unknown algorithm %q (have %v)", name, Names())
 	}
 	if c == nil {
-		return nil, fmt.Errorf("core: nil communicator")
+		return nil, errNilComm
 	}
 	if maxBlock <= 0 {
 		return nil, fmt.Errorf("core: maxBlock must be positive, got %d", maxBlock)

@@ -75,7 +75,7 @@ var ErrPending = errors.New("operation has an outstanding handle")
 // ErrPending.
 type OpState struct {
 	mu      sync.Mutex
-	pending *opHandle
+	pending *opHandle // guarded by mu
 }
 
 // Start launches body off the caller's critical path on c's substrate and

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"alltoallx/internal/coll"
@@ -23,7 +24,7 @@ type worldInfo struct {
 func getWorldInfo(c comm.Comm) (worldInfo, error) {
 	m := c.Topo()
 	if m == nil {
-		return worldInfo{}, fmt.Errorf("core: communicator carries no topology; node-aware algorithms need the world communicator of a mapped cluster")
+		return worldInfo{}, errors.New("core: communicator carries no topology; node-aware algorithms need the world communicator of a mapped cluster")
 	}
 	if m.Size() != c.Size() {
 		return worldInfo{}, fmt.Errorf("core: topology size %d != communicator size %d", m.Size(), c.Size())

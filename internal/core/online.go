@@ -347,6 +347,8 @@ const tagOnlineAgree = 331
 // communicator by dissemination: in round k every rank exchanges its
 // running maxima with ranks +/- 2^k away. Non-negative IEEE floats order
 // identically to their bit patterns, so the reduction runs on bits.
+//
+//a2alint:collective
 func (o *online[T]) agreeMax(a, b float64) (float64, float64, error) {
 	n, r := o.c.Size(), o.c.Rank()
 	am, bm := math.Float64bits(a), math.Float64bits(b)

@@ -71,7 +71,7 @@ type SchedFetcher func(gen string, p int, m *topo.Mapping, rank int) (*sched.Ran
 
 var schedFetcherHook struct {
 	sync.RWMutex
-	f SchedFetcher
+	f SchedFetcher // guarded by RWMutex
 }
 
 // SetSchedFetcher installs (or, with nil, removes) the schedule-service
@@ -135,13 +135,13 @@ func (st *schedState) Program() *sched.RankProgram { return st.ex.Program() }
 // entries are O(error string) and uncounted against the byte limit.
 type schedCacheT struct {
 	mu    sync.Mutex
-	limit int64
-	used  int64
-	ll    *list.List // front = most recently used; values are *schedCacheEntry
-	m     map[string]*list.Element
-	neg   map[string]error
+	limit int64                    // guarded by mu
+	used  int64                    // guarded by mu
+	ll    *list.List               // front = most recently used; values are *schedCacheEntry; guarded by mu
+	m     map[string]*list.Element // guarded by mu
+	neg   map[string]error         // guarded by mu
 
-	hits, misses, evictions, negHits int64
+	hits, misses, evictions, negHits int64 // guarded by mu
 }
 
 type schedCacheEntry struct {
@@ -330,7 +330,7 @@ func SchedCacheStats() CacheStats {
 // error — O(worlds touched), not O(schedule).
 var verifiedWorlds = struct {
 	sync.Mutex
-	m map[string]error
+	m map[string]error // guarded by Mutex
 }{m: make(map[string]error)}
 
 func worldKey(gen string, p int, m *topo.Mapping) string {
@@ -498,7 +498,7 @@ func newSchedExec(gen string, c comm.Comm, sliced bool) (*sched.Exec, error) {
 // via Exec.SetOp before Run.
 func NewSchedExec(gen string, c comm.Comm) (*sched.Exec, error) {
 	if c == nil {
-		return nil, fmt.Errorf("core: nil communicator")
+		return nil, errNilComm
 	}
 	sliced := c.Size() > schedSliceRanks || schedFetcher() != nil
 	return newSchedExec(gen, c, sliced)

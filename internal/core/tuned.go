@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -75,7 +76,7 @@ type Dispatch struct {
 // baseline to beat, not a winner to dispatch).
 func (d *Dispatch) Validate() error {
 	if d == nil || len(d.Entries) == 0 {
-		return fmt.Errorf("core: empty dispatch spec")
+		return errors.New("core: empty dispatch spec")
 	}
 	op := d.Op.Norm()
 	if op != OpAlltoall && op != OpAlltoallv {

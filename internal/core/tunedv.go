@@ -79,6 +79,8 @@ const tagVDispatch = 321
 // running maximum with ranks +/- 2^k away. Max is idempotent, so the
 // overlapping coverage of dissemination yields the exact global maximum
 // in ceil(log2 p) rounds for any rank count.
+//
+//a2alint:collective
 func (t *tunedV) agreeBucket(proposal int) (int, error) {
 	n, r := t.c.Size(), t.c.Rank()
 	cur := int64(proposal)

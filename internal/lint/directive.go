@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Directive kinds. The grammar is strict — //a2alint: immediately
+// followed by the kind, like //go:build — so a directive is never
+// mistaken for prose.
+const (
+	// DirIgnore is //a2alint:ignore <analyzer> <reason>: suppress that
+	// analyzer's findings on this line and the next. The reason is
+	// mandatory — an unexplained suppression is worse than the finding.
+	DirIgnore = "ignore"
+	// DirCollective is //a2alint:collective, placed on a function or
+	// method declaration: marks it as a collective entry point (every
+	// rank of the communicator must call it the same number of times in
+	// the same order), extending spmdcollective's built-in Barrier/Split
+	// set to this module's own collectives.
+	DirCollective = "collective"
+)
+
+// directivePrefix introduces every a2alint directive comment.
+const directivePrefix = "//a2alint:"
+
+// A Directive is one well-formed //a2alint: comment.
+type Directive struct {
+	Pos      token.Position
+	Kind     string
+	Analyzer string // DirIgnore: which analyzer to silence
+	Reason   string // DirIgnore: the recorded justification
+}
+
+// parseDirectives scans every comment of the package. Well-formed
+// directives are returned; malformed ones — unknown kind, unknown
+// analyzer, missing reason — come back as findings under the
+// "directive" pseudo-analyzer, so a suppression can never rot into
+// silence.
+func parseDirectives(pkg *Package, known map[string]bool) ([]Directive, []Diagnostic) {
+	var ds []Directive
+	var diags []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		diags = append(diags, Diagnostic{Pos: pkg.Fset.Position(pos), Analyzer: "directive", Message: msg})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				// Fixture files embed "// want" expectations in the same
+				// comment (a line holds at most one comment); they are not
+				// part of the directive.
+				if i := strings.Index(text, "// want"); i >= 0 {
+					text = text[:i]
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					report(c.Pos(), "a2alint: empty directive")
+					continue
+				}
+				switch fields[0] {
+				case DirIgnore:
+					if len(fields) < 2 || !known[fields[1]] {
+						report(c.Pos(), "a2alint: ignore directive needs a known analyzer name ("+knownList(known)+")")
+						continue
+					}
+					if len(fields) < 3 {
+						report(c.Pos(), "a2alint: ignore "+fields[1]+" needs a reason — justify the suppression")
+						continue
+					}
+					ds = append(ds, Directive{
+						Pos:      pkg.Fset.Position(c.Pos()),
+						Kind:     DirIgnore,
+						Analyzer: fields[1],
+						Reason:   strings.Join(fields[2:], " "),
+					})
+				case DirCollective:
+					ds = append(ds, Directive{Pos: pkg.Fset.Position(c.Pos()), Kind: DirCollective})
+				default:
+					report(c.Pos(), "a2alint: unknown directive "+strings.TrimSpace(fields[0]))
+				}
+			}
+		}
+	}
+	return ds, diags
+}
+
+func knownList(known map[string]bool) string {
+	names := make([]string, 0, len(known))
+	for n := range known {
+		names = append(names, n)
+	}
+	// Sorted so the message is deterministic — the linter practices
+	// what simdet preaches.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return strings.Join(names, ", ")
+}
+
+// suppress drops findings covered by an ignore directive on the same
+// line or the line immediately above (the directive-above-statement
+// form). Directive findings themselves are never suppressible.
+func suppress(diags []Diagnostic, ds []Directive) []Diagnostic {
+	if len(ds) == 0 {
+		return diags
+	}
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	covered := make(map[key]bool)
+	for _, d := range ds {
+		if d.Kind != DirIgnore {
+			continue
+		}
+		covered[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] = true
+		covered[key{d.Pos.Filename, d.Pos.Line + 1, d.Analyzer}] = true
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Analyzer != "directive" && covered[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,163 @@
+// Package lint is a2alint: a suite of static analyzers encoding the
+// invariants this module's correctness story rests on — bit-for-bit
+// deterministic simulation (simdet), SPMD-uniform collective ordering
+// (spmdcollective), attributable errors at scale (errattr),
+// mutex-guarded shared state (mutexguard), and message-tag discipline
+// (tagdiscipline). The generic toolchain checks none of these; until
+// now they lived in reviewers' heads and -race tests.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis shape —
+// Analyzer values with a Run(*Pass) hook, reported Diagnostics, golden
+// fixture tests — but is hand-rolled on go/ast + go/types because the
+// module deliberately has no external dependencies (the same reason
+// internal/singleflight exists).
+//
+// Findings are suppressed, one at a time and with a recorded
+// justification, by a directive on or immediately above the flagged
+// line:
+//
+//	//a2alint:ignore <analyzer> <reason>
+//
+// A malformed directive — unknown analyzer, missing reason — is itself
+// a finding, so suppressions cannot rot silently.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named invariant check. Run inspects a fully
+// type-checked package through its Pass and reports findings; it must
+// not mutate the package.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in
+	// //a2alint:ignore directives. Lower-case, no spaces.
+	Name string
+	// Doc is the one-paragraph invariant statement shown by
+	// a2alint -list.
+	Doc string
+	// Run performs the check.
+	Run func(*Pass) error
+}
+
+// All is the production suite, in reporting order.
+var All = []*Analyzer{
+	Simdet,
+	SPMDCollective,
+	ErrAttr,
+	MutexGuard,
+	TagDiscipline,
+}
+
+// KnownAnalyzers returns the set of valid analyzer names for
+// //a2alint:ignore directives.
+func KnownAnalyzers() map[string]bool {
+	m := make(map[string]bool, len(All))
+	for _, a := range All {
+		m[a.Name] = true
+	}
+	return m
+}
+
+// A Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// A Package is one parsed and type-checked package, the unit of
+// analysis.
+type Package struct {
+	// Path is the import path analyzers scope on (Pkg.Path of the
+	// type-checked package).
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Directives holds every well-formed //a2alint: directive in the
+	// package (spmdcollective reads the collective markers; ignore
+	// directives are applied by Check after analyzers run).
+	Directives []Directive
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InScope reports whether the package is one of the given path
+// suffixes ("internal/sim" matches both "alltoallx/internal/sim" and a
+// fixture's "fix/internal/sim"). Analyzers whose invariant only holds
+// in specific subsystems gate on it.
+func (p *Pass) InScope(suffixes ...string) bool {
+	for _, s := range suffixes {
+		if p.Pkg.Path() == s || strings.HasSuffix(p.Pkg.Path(), "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Check runs the analyzers over pkg, applies //a2alint:ignore
+// suppressions, reports malformed directives, and returns the
+// surviving findings sorted by position. Analyzer errors (not
+// findings) abort the run.
+func Check(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	directives, diags := parseDirectives(pkg, KnownAnalyzers())
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.Info,
+			Directives: directives,
+			diags:      &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: analyzer %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	diags = suppress(diags, directives)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

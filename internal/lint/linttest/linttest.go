@@ -1,0 +1,113 @@
+// Package linttest runs a2alint analyzers over golden fixture
+// packages, in the manner of golang.org/x/tools' analysistest: fixture
+// source lines carry `// want "regexp"` comments stating the findings
+// that must be reported there, and the harness fails on any mismatch
+// in either direction — a missing finding is a broken analyzer, an
+// extra finding is a false positive.
+package linttest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"alltoallx/internal/lint"
+)
+
+// wantRe matches one `// want "..." "..."` expectation inside a
+// comment. Quoted strings are Go-quoted regular expressions. The
+// expectation may live inside another comment's text (a directive
+// fixture asserts the finding on its own line that way).
+var wantRe = regexp.MustCompile(`// want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+
+var quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// Run loads the fixture directory as one package under pkgPath (pick a
+// path inside the analyzer's scope, e.g. "fix/internal/sim") and
+// checks the analyzer's findings against the fixture's want comments.
+// The framework's directive pass always runs, so fixtures can also
+// assert malformed-directive findings.
+func Run(t *testing.T, dir, pkgPath string, a *lint.Analyzer) {
+	t.Helper()
+	pkg, err := lint.LoadDir(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := lint.Check(pkg, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	wants := make(map[lineKey][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "// want") {
+						t.Errorf("%s: malformed want comment: %s", pkg.Fset.Position(c.Pos()), c.Text)
+					}
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := lineKey{pos.Filename, pos.Line}
+				for _, q := range quotedRe.FindAllString(m[1], -1) {
+					s, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, s, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	got := make(map[lineKey][]lint.Diagnostic)
+	for _, d := range diags {
+		k := lineKey{d.Pos.Filename, d.Pos.Line}
+		got[k] = append(got[k], d)
+	}
+
+	for k, res := range wants {
+		ds := got[k]
+		for _, re := range res {
+			matched := -1
+			for i, d := range ds {
+				if re.MatchString(d.Message) {
+					matched = i
+					break
+				}
+			}
+			if matched < 0 {
+				t.Errorf("%s:%d: expected finding matching %q, got %v", k.file, k.line, re, messages(ds))
+				continue
+			}
+			ds = append(ds[:matched], ds[matched+1:]...)
+		}
+		if len(ds) > 0 {
+			t.Errorf("%s:%d: unexpected findings %v", k.file, k.line, messages(ds))
+		}
+		delete(got, k)
+	}
+	for k, ds := range got {
+		t.Errorf("%s:%d: unexpected findings %v", k.file, k.line, messages(ds))
+	}
+}
+
+func messages(ds []lint.Diagnostic) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.Analyzer + ": " + d.Message
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// The loader type-checks packages from source with the standard
+// library's "source" importer, so a2alint needs no export data and no
+// network — dependencies (including the standard library) are parsed
+// and checked from GOROOT and the module tree on demand. One importer
+// instance is shared process-wide: the first load pays for the
+// dependency closure, later loads hit its cache.
+
+var loaderMu sync.Mutex
+var sharedFset *token.FileSet
+var sharedImporter types.Importer
+
+func loaderInit() {
+	if sharedFset == nil {
+		// The simulator's fabric and machine models are pure Go; cgo
+		// variants of stdlib packages (net, os/user) only complicate
+		// source type-checking, so resolve files as a cgo-free build.
+		build.Default.CgoEnabled = false
+		sharedFset = token.NewFileSet()
+		sharedImporter = importer.ForCompiler(sharedFset, "source", nil)
+	}
+}
+
+// TypeCheck parses and type-checks the given parsed files as one
+// package with the shared source importer. The Package's Info records
+// uses, defs, selections and expression types — everything the
+// analyzers consume.
+func typeCheck(fset *token.FileSet, path string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: sharedImporter}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// LoadDir parses every non-test .go file in dir and type-checks the
+// result under the given import path. Fixture tests use it directly;
+// LoadPackages uses it for real packages after `go list` resolves the
+// patterns.
+func LoadDir(dir, path string) (*Package, error) {
+	loaderMu.Lock()
+	defer loaderMu.Unlock()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || filepath.Ext(n) != ".go" || isTestFile(n) {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return loadFiles(dir, path, names)
+}
+
+func isTestFile(name string) bool {
+	const suf = "_test.go"
+	return len(name) >= len(suf) && name[len(name)-len(suf):] == suf
+}
+
+func loadFiles(dir, path string, names []string) (*Package, error) {
+	loaderInit()
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: %s: no Go files", dir)
+	}
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(sharedFset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", dir, err)
+		}
+		files = append(files, f)
+	}
+	return typeCheck(sharedFset, path, files)
+}
+
+// listedPackage is the slice of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+}
+
+// LoadPackages resolves the package patterns (./... and friends) with
+// the go command from the module root and loads each matched package —
+// non-test files only, matching what ships. It returns the packages in
+// the order go list reports them.
+func LoadPackages(moduleRoot string, patterns []string) ([]*Package, error) {
+	loaderMu.Lock()
+	defer loaderMu.Unlock()
+	loaderInit()
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleRoot
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*Package
+	for dec.More() {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := loadFiles(lp.Dir, lp.ImportPath, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// ModuleRoot walks up from dir to the enclosing go.mod, the directory
+// package patterns are resolved from.
+func ModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", fmt.Errorf("lint: %s: %w", dir, err)
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod above %s", abs)
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,279 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// simdetScope is where the determinism invariant is absolute: the
+// simulator, the schedule compiler, and the topology/fabric layer. A
+// golden file (BENCH_*.json) or the 1e-9 analytic-vs-flow oracle pin
+// depends on every byte these packages produce being a pure function
+// of (seed, world, machine).
+var simdetScope = []string{"internal/sim", "internal/sched", "internal/topo"}
+
+// Simdet proves the simulation side of the repo deterministic: no wall
+// clock, no process-global randomness, and no map iteration feeding
+// order-sensitive output without the sorted-keys idiom.
+var Simdet = &Analyzer{
+	Name: "simdet",
+	Doc: `forbid nondeterminism sources in the simulation/schedule/topology packages:
+time.Now and time.Since (virtual time comes from the event engine),
+math/rand's process-global top-level functions (streams must be
+rand.New(rand.NewSource(seed)) so runs replay bit-for-bit), and
+range-over-map bodies that append, send, or float/string-accumulate
+into order-sensitive output without sorting (map order would leak into
+golden files and the analytic-vs-flow oracle).`,
+	Run: runSimdet,
+}
+
+func runSimdet(pass *Pass) error {
+	if !pass.InScope(simdetScope...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkForbiddenCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n, enclosingFuncBody(f, n))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkForbiddenCall flags wall-clock reads and global-generator
+// randomness.
+func checkForbiddenCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return // methods (e.g. time.Time.Since does not exist; rand.Rand.Intn is fine)
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" || fn.Name() == "Since" {
+			pass.Reportf(call.Pos(), "time.%s reads the wall clock; simulation code must use the event engine's virtual time", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			// Constructors are how seed-stable streams are made.
+		default:
+			pass.Reportf(call.Pos(), "rand.%s draws from the process-global generator; use rand.New(rand.NewSource(seed)) so the stream replays bit-for-bit", fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags `for k, v := range m` over a map whose body
+// accumulates into order-sensitive output — append, channel send, or
+// float/string compound assignment — unless the accumulation is
+// rescued by the sorted-keys idiom (the appended slice is passed to a
+// sort call later in the same function) or each iteration writes a
+// distinct element (the target is indexed by exactly the range key).
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, body *ast.BlockStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	keyObj := rangeKeyObject(pass, rng)
+	var hazards []hazard
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			hazards = append(hazards, hazard{pos: n.Pos(), what: "channel send"})
+		case *ast.AssignStmt:
+			hazards = append(hazards, assignHazards(pass, n, keyObj)...)
+		}
+		return true
+	})
+	if len(hazards) == 0 {
+		return
+	}
+	sorted := sortedIdents(pass, body, rng.End())
+	for _, h := range hazards {
+		if h.target != nil && sorted[h.target] {
+			continue // sorted-keys idiom: collect, then sort
+		}
+		pass.Reportf(rng.Pos(), "map iteration order reaches order-sensitive output (%s at line %d); sort the keys first or sort the result",
+			h.what, pass.Fset.Position(h.pos).Line)
+	}
+}
+
+type hazard struct {
+	pos    token.Pos
+	what   string
+	target types.Object // base object accumulated into, if identifiable
+}
+
+// assignHazards classifies one assignment inside a map-range body.
+func assignHazards(pass *Pass, as *ast.AssignStmt, keyObj types.Object) []hazard {
+	var hs []hazard
+	switch as.Tok {
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass, call) || i >= len(as.Lhs) {
+				continue
+			}
+			if indexedByKey(pass, as.Lhs[i], keyObj) {
+				continue // one distinct element per iteration: order-free
+			}
+			hs = append(hs, hazard{pos: as.Pos(), what: "append", target: baseObject(pass, as.Lhs[i])})
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN:
+		for _, lhs := range as.Lhs {
+			tv, ok := pass.TypesInfo.Types[lhs]
+			if !ok {
+				continue
+			}
+			b, ok := tv.Type.Underlying().(*types.Basic)
+			if !ok {
+				continue
+			}
+			// Integer accumulation commutes exactly; float rounding and
+			// string concatenation depend on visit order.
+			if b.Info()&types.IsFloat != 0 || b.Info()&types.IsComplex != 0 {
+				hs = append(hs, hazard{pos: as.Pos(), what: "floating-point accumulation"})
+			} else if b.Info()&types.IsString != 0 {
+				hs = append(hs, hazard{pos: as.Pos(), what: "string concatenation"})
+			}
+		}
+	}
+	return hs
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// rangeKeyObject returns the object of the range's key variable, or
+// nil when the key is blank or absent.
+func rangeKeyObject(pass *Pass, rng *ast.RangeStmt) types.Object {
+	id, ok := rng.Key.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if o := pass.TypesInfo.Defs[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// indexedByKey reports whether expr is an index expression whose index
+// is exactly the range key variable — m2[k] = append(m2[k], ...)
+// touches a distinct element each iteration, so visit order cannot
+// show.
+func indexedByKey(pass *Pass, expr ast.Expr, keyObj types.Object) bool {
+	if keyObj == nil {
+		return false
+	}
+	ix, ok := expr.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ix.Index.(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == keyObj
+}
+
+// baseObject walks an lvalue to its root identifier's object: the
+// `outs` of outs[t][r].
+func baseObject(pass *Pass, expr ast.Expr) types.Object {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			if o := pass.TypesInfo.Uses[e]; o != nil {
+				return o
+			}
+			return pass.TypesInfo.Defs[e]
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedIdents collects the base objects of every argument to a sort
+// call (sort.Slice, sort.Sort, sort.Strings, sort.Ints, slices.Sort*)
+// appearing in the enclosing function after pos: the second half of
+// the sorted-keys idiom.
+func sortedIdents(pass *Pass, body *ast.BlockStmt, after token.Pos) map[types.Object]bool {
+	m := make(map[types.Object]bool)
+	if body == nil {
+		return m
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < after {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if o := baseObject(pass, arg); o != nil {
+				m[o] = true
+			}
+		}
+		return true
+	})
+	return m
+}
+
+// enclosingFuncBody returns the body of the innermost function
+// declaration or literal containing n within file f.
+func enclosingFuncBody(f *ast.File, n ast.Node) *ast.BlockStmt {
+	var body *ast.BlockStmt
+	ast.Inspect(f, func(node ast.Node) bool {
+		if node == nil {
+			return false
+		}
+		if node.Pos() > n.Pos() || node.End() < n.End() {
+			return false // subtree does not contain n
+		}
+		switch fd := node.(type) {
+		case *ast.FuncDecl:
+			if fd.Body != nil {
+				body = fd.Body
+			}
+		case *ast.FuncLit:
+			body = fd.Body
+		}
+		return true
+	})
+	return body
+}

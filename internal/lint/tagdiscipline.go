@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// TagDiscipline proves message-tag hygiene at every point-to-point
+// call site: an argument bound to a parameter named tag/stag/rtag (or
+// any *tag suffix, matching the comm.Comm and sim.Network signatures)
+// must derive from a declared tag constant (tagAlltoall, TagBase
+// arithmetic, a tag-typed parameter) — never a raw integer literal. A
+// raw tag that collides with a schedule round's TagBase+ri corrupts
+// FlowReport keying and round attribution, and two raw tags colliding
+// with each other cross-matches messages between overlapping
+// exchanges.
+var TagDiscipline = &Analyzer{
+	Name: "tagdiscipline",
+	Doc: `message tags must derive from declared tag constants or TagBase
+arithmetic, never raw integer literals: tag collisions cross-match
+messages between exchanges and corrupt FlowReport round attribution.
+An expression passes if it mentions at least one named constant or
+variable; it fails if it is built from integer literals alone.`,
+	Run: runTagDiscipline,
+}
+
+func runTagDiscipline(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sig := calleeSignature(pass, call)
+			if sig == nil {
+				return true
+			}
+			for i, arg := range call.Args {
+				if i >= sig.Params().Len() {
+					break // variadic tail cannot be a tag in these APIs
+				}
+				p := sig.Params().At(i)
+				if !isTagParam(p) {
+					continue
+				}
+				if lit := literalOnly(pass, arg); lit {
+					pass.Reportf(arg.Pos(), "raw integer literal for tag parameter %q; derive tags from a declared tag constant (tagXxx or TagBase arithmetic) so exchanges cannot collide", p.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func calleeSignature(pass *Pass, call *ast.CallExpr) *types.Signature {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	return sig
+}
+
+// isTagParam matches the tag parameters of the comm/sim messaging
+// APIs: int-typed, named "tag" or ending in "tag" (stag, rtag).
+func isTagParam(p *types.Var) bool {
+	if p == nil || p.Name() == "" {
+		return false
+	}
+	b, ok := p.Type().Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return false
+	}
+	return strings.HasSuffix(strings.ToLower(p.Name()), "tag")
+}
+
+// literalOnly reports whether e is built purely from integer literals
+// (possibly combined with operators, parens, and conversions): no
+// named constant, no variable, no call with operands of its own.
+func literalOnly(pass *Pass, e ast.Expr) bool {
+	sawLiteral := false
+	sawNamed := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BasicLit:
+			if n.Kind == token.INT {
+				sawLiteral = true
+			}
+		case *ast.Ident:
+			switch pass.TypesInfo.Uses[n].(type) {
+			case *types.Const, *types.Var, *types.Func:
+				sawNamed = true
+			}
+		case *ast.SelectorExpr:
+			switch pass.TypesInfo.Uses[n.Sel].(type) {
+			case *types.Const, *types.Var, *types.Func:
+				sawNamed = true
+			}
+		}
+		return !sawNamed
+	})
+	return sawLiteral && !sawNamed
+}

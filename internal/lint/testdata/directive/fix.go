@@ -1,0 +1,46 @@
+// Package fix is the suppression-directive golden fixture, run under
+// the simdet analyzer: well-formed ignores silence exactly one line,
+// malformed ones are findings themselves and silence nothing.
+package fix
+
+import "time"
+
+func suppressedAbove() {
+	//a2alint:ignore simdet wall clock feeds an operator log line, not the simulation
+	_ = time.Now()
+}
+
+func suppressedSameLine() {
+	_ = time.Now() //a2alint:ignore simdet operator-facing timestamp outside the timed region
+}
+
+func suppressionIsPerLine() {
+	//a2alint:ignore simdet only this line is justified
+	_ = time.Now()
+	_ = time.Now() // want "time.Now reads the wall clock"
+}
+
+func wrongAnalyzerName() {
+	//a2alint:ignore errattr suppressing the wrong analyzer does nothing here
+	_ = time.Now() // want "time.Now reads the wall clock"
+}
+
+func missingReason() {
+	//a2alint:ignore simdet // want "needs a reason"
+	_ = time.Now() // want "time.Now reads the wall clock"
+}
+
+func unknownAnalyzer() {
+	//a2alint:ignore nosuchanalyzer because I say so // want "known analyzer name"
+	_ = time.Now() // want "time.Now reads the wall clock"
+}
+
+func unknownDirective() {
+	//a2alint:frobnicate // want "unknown directive"
+	_ = time.Unix(0, 0)
+}
+
+func emptyDirective() {
+	//a2alint: // want "empty directive"
+	_ = time.Unix(0, 0)
+}

@@ -1,0 +1,57 @@
+// Package fix is the errattr golden fixture: error flows on
+// attributable paths must keep the cause chain and carry identifying
+// context.
+package fix
+
+import (
+	"errors"
+	"fmt"
+)
+
+// errRejected is the approved form for constant messages: a sentinel,
+// testable with errors.Is across package boundaries.
+var errRejected = errors.New("fix: generator rejected this world")
+
+func wrapWithContext(gen string, p, rank int, err error) error {
+	return fmt.Errorf("fix: %s@p%d rank %d: %w", gen, p, rank, err)
+}
+
+func flattenedCause(gen string, err error) error {
+	return fmt.Errorf("fix: %s failed: %v", gen, err) // want "discards the chain"
+}
+
+func stringedCause(err error) error {
+	return fmt.Errorf("fix: %s", err) // want "discards the chain"
+}
+
+func bareWrap(err error) error {
+	return fmt.Errorf("%w", err) // want "adds no context"
+}
+
+func constantMessage() error {
+	return fmt.Errorf("nil schedule") // want "constant error message"
+}
+
+func percentEscapeOnly() error {
+	return fmt.Errorf("100%% loss, no context") // want "constant error message"
+}
+
+func contextualNoCause(p, rank int) error {
+	return fmt.Errorf("fix: rank %d out of range 0..%d", rank, p-1)
+}
+
+func customErrType(gen string, err *wrappedErr) error {
+	return fmt.Errorf("fix: %s: %v", gen, err) // want "discards the chain"
+}
+
+type wrappedErr struct{ msg string }
+
+func (w *wrappedErr) Error() string { return w.msg }
+
+func notErrorf(err error) string {
+	return fmt.Sprintf("%v", err) // Sprintf renders for humans; only Errorf builds chains
+}
+
+func dynamicFormat(format string, err error) error {
+	return fmt.Errorf(format, err) // dynamic format: out of static reach
+}

@@ -1,0 +1,117 @@
+// Package fix is the mutexguard golden fixture: accesses to fields
+// annotated "guarded by <mutex>" must sit in functions that lock that
+// mutex.
+package fix
+
+import "sync"
+
+type opState struct {
+	mu      sync.Mutex
+	pending *int // guarded by mu
+	stats   int  // unannotated: the analyzer has no opinion
+}
+
+func (s *opState) start() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending != nil {
+		return false
+	}
+	v := 1
+	s.pending = &v
+	return true
+}
+
+func (s *opState) racyPeek() bool {
+	return s.pending != nil // want "guarded by mu, but racyPeek never locks it"
+}
+
+func (s *opState) bumpStats() {
+	s.stats++ // unannotated field: fine without the lock
+}
+
+func newOpState() *opState {
+	v := 0
+	return &opState{pending: &v} // composite literal: not shared yet
+}
+
+type rwGuarded struct {
+	mu    sync.RWMutex
+	table map[string]int // guarded by mu
+}
+
+func (g *rwGuarded) read(k string) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.table[k]
+}
+
+func (g *rwGuarded) racyRead(k string) int {
+	return g.table[k] // want "guarded by mu, but racyRead never locks it"
+}
+
+type embedded struct {
+	sync.Mutex
+	m map[string]bool // guarded by Mutex
+}
+
+func (e *embedded) set(k string) {
+	e.Lock()
+	defer e.Unlock()
+	if e.m == nil {
+		e.m = make(map[string]bool)
+	}
+	e.m[k] = true
+}
+
+func (e *embedded) racySet(k string) {
+	e.m[k] = true // want "guarded by Mutex, but racySet never locks it"
+}
+
+// evictLocked-style helpers: the *Locked suffix is the documented
+// promise that the caller holds the lock, so no finding and no
+// directive needed.
+func (s *opState) dropLocked() {
+	s.pending = nil
+}
+
+// Annotations work on anonymous-struct singletons too (typed var and
+// composite-literal forms).
+var hook struct {
+	mu sync.RWMutex
+	f  func() // guarded by mu
+}
+
+func setHook(fn func()) {
+	hook.mu.Lock()
+	defer hook.mu.Unlock()
+	hook.f = fn
+}
+
+func racyHook() func() {
+	return hook.f // want "guarded by mu, but racyHook never locks it"
+}
+
+var registry = struct {
+	sync.Mutex
+	seen map[string]bool // guarded by Mutex
+}{seen: make(map[string]bool)}
+
+func record(k string) {
+	registry.Lock()
+	defer registry.Unlock()
+	registry.seen[k] = true
+}
+
+func racyRecord(k string) bool {
+	return registry.seen[k] // want "guarded by Mutex, but racyRecord never locks it"
+}
+
+type misdeclared struct {
+	n int // guarded by lock // want "not a field of misdeclared"
+}
+
+func helperWithJustification(s *opState) bool {
+	//a2alint:ignore mutexguard caller in start holds mu for the whole exchange
+	return s.pending != nil
+}

@@ -1,0 +1,95 @@
+// Package fix is the simdet golden fixture: each flagged line carries
+// a want comment; everything else must stay silent.
+package fix
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clock() time.Duration {
+	start := time.Now() // want "time.Now reads the wall clock"
+	base := time.Unix(0, 0)
+	_ = base
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+func noise(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // constructors build seed-stable streams
+	_ = rand.Intn(4)                      // want "process-global generator"
+	rand.Shuffle(3, func(i, j int) {})    // want "process-global generator"
+	return rng.Intn(4)                    // method on an explicit stream: fine
+}
+
+func mapAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration order"
+		out = append(out, k)
+	}
+	return out
+}
+
+func mapFloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "floating-point accumulation"
+		sum += v
+	}
+	return sum
+}
+
+func mapStringConcat(m map[string]string) string {
+	s := ""
+	for _, v := range m { // want "string concatenation"
+		s += v
+	}
+	return s
+}
+
+func mapSend(m map[int]int, ch chan int) {
+	for k := range m { // want "channel send"
+		ch <- k
+	}
+}
+
+func sortedKeysIdiom(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // the sorted-keys idiom: collect, then sort
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedAfterNestedAppend(moves map[int][]int) [][]int {
+	var rows [][]int
+	for _, blocks := range moves { // appended rows are sorted below
+		rows = append(rows, blocks)
+	}
+	sort.Slice(rows, func(i, j int) bool { return len(rows[i]) < len(rows[j]) })
+	return rows
+}
+
+func keyedWrites(m map[string]int) map[string][]int {
+	byKey := make(map[string][]int)
+	for k, v := range m { // distinct element per iteration: order-free
+		byKey[k] = append(byKey[k], v)
+	}
+	return byKey
+}
+
+func intSum(m map[string]int) int {
+	n := 0
+	for _, v := range m { // integer accumulation commutes exactly
+		n += v
+	}
+	return n
+}
+
+func sliceRange(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs { // slice order is deterministic
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,105 @@
+// Package fix is the spmdcollective golden fixture: collective calls
+// under rank-varying control flow are flagged; rank-uniform branching
+// and point-to-point traffic are not.
+package fix
+
+// Comm mirrors the communicator subset the analyzer keys on.
+type Comm interface {
+	Rank() int
+	Size() int
+	Barrier() error
+	Split(color, key int) (Comm, error)
+	Send(b []byte, dst, tag int) error
+}
+
+func uniform(c Comm) error {
+	if c.Size() > 1 { // size is rank-uniform: every rank branches alike
+		return c.Barrier()
+	}
+	return nil
+}
+
+func rootOnly(c Comm) error {
+	if c.Rank() == 0 {
+		return c.Barrier() // want "control-dependent on rank-varying condition Rank"
+	}
+	return nil
+}
+
+func taintedLocal(c Comm) error {
+	n, r := c.Size(), c.Rank()
+	if r < n/2 {
+		if err := c.Barrier(); err != nil { // want "rank-varying condition r"
+			return err
+		}
+	}
+	return nil
+}
+
+func namedRankParam(c Comm, rank int) error {
+	if rank%2 == 0 {
+		_, err := c.Split(0, 0) // want "rank-varying condition rank"
+		return err
+	}
+	return nil
+}
+
+func switchOnRank(c Comm) error {
+	switch c.Rank() {
+	case 0:
+		return c.Barrier() // want "rank-varying switch Rank"
+	default:
+		return nil
+	}
+}
+
+func rankTrips(c Comm) error {
+	for i := 0; i < c.Rank(); i++ {
+		if err := c.Barrier(); err != nil { // want "rank-varying number of times"
+			return err
+		}
+	}
+	return nil
+}
+
+func pointToPointIsFree(c Comm) error {
+	if c.Rank() == 0 { // rank-dependent point-to-point is how algorithms work
+		return c.Send(nil, 1, 0)
+	}
+	return nil
+}
+
+func uniformLoop(c Comm) error {
+	for i := 0; i < c.Size(); i++ { // uniform trip count: fine
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// agree is this package's own collective, marked so the analyzer
+// covers its call sites like Barrier's.
+//
+//a2alint:collective
+func agree(c Comm) error {
+	return c.Barrier()
+}
+
+func promote(c Comm) error {
+	if c.Rank() == 0 {
+		return agree(c) // want "collective agree is control-dependent"
+	}
+	return agree(c)
+}
+
+// Split is a free function that happens to share a builtin collective
+// name; only methods count for the builtin set.
+func Split(n int) int { return n / 2 }
+
+func freeFunctionName(c Comm) int {
+	if c.Rank() == 0 {
+		return Split(4)
+	}
+	return Split(2)
+}

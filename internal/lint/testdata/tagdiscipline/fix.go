@@ -1,0 +1,60 @@
+// Package fix is the tagdiscipline golden fixture: tag-named integer
+// parameters must receive declared-constant-derived expressions, never
+// raw literals.
+package fix
+
+// Declared tag constants — the approved source of tag values.
+const (
+	tagExchange = 101
+	tagBase     = 401
+)
+
+// Comm mirrors the tag-carrying messaging signatures.
+type Comm interface {
+	Send(b []byte, dst, tag int) error
+	Recv(b []byte, src, tag int) error
+	Sendrecv(sb []byte, dst, stag int, rb []byte, src, rtag int) error
+}
+
+func constTag(c Comm) error {
+	return c.Send(nil, 1, tagExchange)
+}
+
+func tagArithmetic(c Comm, round int) error {
+	return c.Send(nil, 1, tagBase+round)
+}
+
+func passthrough(c Comm, tag int) error {
+	return c.Recv(nil, 0, tag) // a variable carries its provenance
+}
+
+func rawLiteral(c Comm) error {
+	return c.Send(nil, 1, 401) // want "raw integer literal for tag parameter"
+}
+
+func rawArithmetic(c Comm) error {
+	return c.Recv(nil, 0, 7*8+1) // want "raw integer literal for tag parameter"
+}
+
+func offsetFromVariable(c Comm, tag int) error {
+	return c.Recv(nil, 0, tag+1) // an offset from a provenanced tag is fine
+}
+
+func rawSendrecv(c Comm) error {
+	return c.Sendrecv(nil, 1, 9, nil, 2, tagBase) // want "raw integer literal for tag parameter .stag."
+}
+
+func converted(c Comm) error {
+	return c.Send(nil, 1, int(5)) // want "raw integer literal for tag parameter"
+}
+
+func notATagParam(dst, count int) int {
+	return clamp(dst, 3) // "count"-style params take literals freely
+}
+
+func clamp(v, limit int) int {
+	if v > limit {
+		return limit
+	}
+	return v
+}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 
 	"alltoallx/internal/comm"
@@ -100,7 +101,7 @@ func (e *Exec) Run(c comm.Comm, send, recv comm.Buffer, block int, rec *trace.Re
 		e.rp = rp
 	}
 	if rp == nil {
-		return fmt.Errorf("sched: executor has no schedule")
+		return errors.New("sched: executor has no schedule")
 	}
 	if c.Size() != rp.Ranks {
 		return fmt.Errorf("sched: schedule %q compiled for %d ranks, communicator has %d", rp.Name, rp.Ranks, c.Size())

@@ -111,8 +111,8 @@ func FormatLinkLoads(f *topo.Fabric, loads [][]int) string {
 // (SetLoadRecord), so it locks; executors themselves stay single-rank.
 type LoadRecord struct {
 	mu     sync.Mutex
-	ranks  int
-	rounds [][][]int // [round][src][dst] blocks
+	ranks  int       // immutable after NewLoadRecord
+	rounds [][][]int // [round][src][dst] blocks; guarded by mu
 }
 
 // NewLoadRecord returns a record for a world of the given size.

@@ -495,6 +495,7 @@ func (s hcubeSlicer) ins(x, t int) []rmsg {
 // groupMsgs converts a peer->blocks map into the canonical message order.
 func groupMsgs(byPeer map[int][]int32) []rmsg {
 	msgs := make([]rmsg, 0, len(byPeer))
+	//a2alint:ignore simdet sortMsgs canonicalizes the order before msgs escapes
 	for peer, blocks := range byPeer {
 		msgs = append(msgs, rmsg{peer: peer, blocks: sortBlocks(blocks)})
 	}

@@ -17,6 +17,7 @@ package sched
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -70,7 +71,7 @@ func (rp *RankProgram) Collective() Coll {
 // after generation.
 func Slice(s *Schedule, rank int) (*RankProgram, error) {
 	if s == nil {
-		return nil, fmt.Errorf("sched: cannot slice a nil schedule")
+		return nil, errors.New("sched: cannot slice a nil schedule")
 	}
 	if rank < 0 || rank >= s.Ranks {
 		return nil, fmt.Errorf("sched: rank %d out of range for a %d-rank schedule", rank, s.Ranks)

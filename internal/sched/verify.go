@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 )
@@ -41,14 +42,14 @@ import (
 // associative commutative operator).
 func Verify(s *Schedule) error {
 	if s == nil {
-		return fmt.Errorf("sched: nil schedule")
+		return errors.New("sched: nil schedule")
 	}
 	p := s.Ranks
 	if p <= 0 {
 		return fmt.Errorf("sched: invalid rank count %d", p)
 	}
 	if len(s.Rounds) == 0 {
-		return fmt.Errorf("sched: schedule has no rounds (even the trivial schedule needs the self-block copy)")
+		return errors.New("sched: schedule has no rounds (even the trivial schedule needs the self-block copy)")
 	}
 	for i, sz := range s.Scratch {
 		if sz <= 0 {
@@ -83,7 +84,7 @@ func checkHeader(coll Coll, op string, counts [][]int, p int) error {
 	}
 	if (coll == CollAlltoallv) != (counts != nil) {
 		if counts == nil {
-			return fmt.Errorf("sched: alltoallv schedule must declare its per-pair counts")
+			return errors.New("sched: alltoallv schedule must declare its per-pair counts")
 		}
 		return fmt.Errorf("sched: per-pair counts on a non-alltoallv %s schedule", coll)
 	}

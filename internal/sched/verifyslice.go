@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 
 	"alltoallx/internal/topo"
@@ -44,7 +45,7 @@ import (
 // (or VerifyWorldSliced) for those.
 func VerifyRank(rp *RankProgram) error {
 	if rp == nil {
-		return fmt.Errorf("sched: nil rank program")
+		return errors.New("sched: nil rank program")
 	}
 	sv := NewStreamVerifier(rp.Ranks)
 	return sv.Add(rp)
@@ -121,7 +122,7 @@ func NewStreamVerifier(p int) *StreamVerifier {
 // all-to-all facility; dead ranks in other collectives are rejected.
 func (sv *StreamVerifier) SetDead(dead ...int) error {
 	if sv.started {
-		return fmt.Errorf("sched: SetDead must precede the first Add")
+		return errors.New("sched: SetDead must precede the first Add")
 	}
 	if sv.dead == nil {
 		sv.dead = make([]bool, sv.p)
@@ -183,7 +184,7 @@ func checkSliceHeader(rp *RankProgram) error {
 // fingerprints into the stream state.
 func (sv *StreamVerifier) Add(rp *RankProgram) error {
 	if rp == nil {
-		return fmt.Errorf("sched: nil rank program")
+		return errors.New("sched: nil rank program")
 	}
 	p := sv.p
 	if rp.Ranks != p {
@@ -601,7 +602,7 @@ func (sv *StreamVerifier) Finish() error {
 			return fmt.Errorf("sched: alltoallv count declarations disagree: %d blocks declared sent but %d declared received", sv.vSendBlocks, sv.vRecvBlocks)
 		}
 		if sv.vSendHash != sv.vRecvHash {
-			return fmt.Errorf("sched: alltoallv count declarations disagree across slices (some pair's VSend and VRecv entries differ)")
+			return errors.New("sched: alltoallv count declarations disagree across slices (some pair's VSend and VRecv entries differ)")
 		}
 	}
 	return nil

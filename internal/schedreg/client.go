@@ -52,14 +52,14 @@ func (c *Client) Fetch(gen string, p int, m *topo.Mapping, rank int) (*sched.Ran
 	}
 	resp, err := c.hc.Get(c.base + "/v1/program?" + q.Encode())
 	if err != nil {
-		return nil, fmt.Errorf("schedreg: %s: %w: %v", k, ErrUnavailable, err)
+		return nil, fmt.Errorf("schedreg: %s: %w: %w", k, ErrUnavailable, err)
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK:
 		rp, err := sched.DecodeRank(resp.Body)
 		if err != nil {
-			return nil, fmt.Errorf("schedreg: %s: %w: daemon sent an undecodable program: %v", k, ErrUnavailable, err)
+			return nil, fmt.Errorf("schedreg: %s: %w: daemon sent an undecodable program: %w", k, ErrUnavailable, err)
 		}
 		if !strings.HasPrefix(rp.Name, k.Gen) || rp.Ranks != k.Ranks || rp.Rank != k.Rank {
 			return nil, fmt.Errorf("schedreg: %s: %w: daemon sent %s@p%d rank %d", k, ErrUnavailable, rp.Name, rp.Ranks, rp.Rank)
@@ -76,7 +76,7 @@ func (c *Client) Fetch(gen string, p int, m *topo.Mapping, rank int) (*sched.Ran
 func (c *Client) Stats() (Stats, error) {
 	resp, err := c.hc.Get(c.base + "/v1/stats")
 	if err != nil {
-		return Stats{}, fmt.Errorf("schedreg: stats: %w: %v", ErrUnavailable, err)
+		return Stats{}, fmt.Errorf("schedreg: stats: %w: %w", ErrUnavailable, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -84,7 +84,7 @@ func (c *Client) Stats() (Stats, error) {
 	}
 	var st Stats
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return Stats{}, fmt.Errorf("schedreg: stats: %w: %v", ErrUnavailable, err)
+		return Stats{}, fmt.Errorf("schedreg: stats: %w: %w", ErrUnavailable, err)
 	}
 	return st, nil
 }
@@ -93,7 +93,7 @@ func (c *Client) Stats() (Stats, error) {
 func (c *Client) Healthy() error {
 	resp, err := c.hc.Get(c.base + "/healthz")
 	if err != nil {
-		return fmt.Errorf("schedreg: %w: %v", ErrUnavailable, err)
+		return fmt.Errorf("schedreg: %w: %w", ErrUnavailable, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {

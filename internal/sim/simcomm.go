@@ -161,6 +161,11 @@ func (c *SimComm) Recv(b comm.Buffer, src, tag int) error {
 	return c.Wait(req)
 }
 
+// tagUntagged is the failure-check threshold for operations that carry
+// no application tag (the barrier's internal-context exchanges): at tag
+// 0 the rank dies only if its death trigger already fired.
+const tagUntagged = 0
+
 // checkFail enforces an injected failure (ClusterConfig.Fail): once this
 // world rank's death trigger fires — an operation tagged atTag or higher
 // — every operation it attempts returns ErrRankFailed.
@@ -262,7 +267,7 @@ func (c *SimComm) Barrier() error {
 	if n == 1 {
 		return nil
 	}
-	if err := c.checkFail(0); err != nil {
+	if err := c.checkFail(tagUntagged); err != nil {
 		return err
 	}
 	me := c.ranks[c.rank]

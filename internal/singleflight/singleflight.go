@@ -20,7 +20,7 @@ type call struct {
 // Group coalesces calls by key. The zero value is ready to use.
 type Group struct {
 	mu sync.Mutex
-	m  map[string]*call
+	m  map[string]*call // guarded by mu
 }
 
 // Do executes fn, ensuring only one execution per key is in flight at a
